@@ -1,0 +1,63 @@
+// Ablation A6 — allreduce algorithm choice: binomial reduce + broadcast
+// (2·log2 P latency, each round moves the vector once) versus recursive
+// doubling (log2 P rounds, full vector every round). The crossover is the
+// classic small-vs-large payload tradeoff MPI implementations tune.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+double allreduce_time(bool recursive_doubling, int procs, std::size_t doubles) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 10;
+  cfg.procs = procs;
+  cfg.cyclic_mapping = true;
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  mpi::Cluster cluster(cfg);
+  double t = 0;
+  cluster.run([&](mpi::Comm& c) {
+    std::vector<double> in(doubles, 1.0), out(doubles);
+    // warmup + measured
+    for (int i = 0; i < 2; ++i) {
+      c.barrier();
+      const double t0 = c.wtime();
+      if (recursive_doubling) {
+        c.allreduce_rd(in.data(), out.data(), doubles, mpi::ReduceOp::Sum);
+      } else {
+        c.allreduce(in.data(), out.data(), doubles, mpi::ReduceOp::Sum);
+      }
+      if (c.rank() == 0 && i == 1) t = c.wtime() - t0;
+    }
+  });
+  return t * 1e6;
+}
+
+void print_table() {
+  harness::Table t({"procs", "doubles", "reduce+bcast (us)", "recursive-dbl (us)", "winner"});
+  for (int procs : {8, 16, 32}) {
+    for (std::size_t doubles : {std::size_t{1}, std::size_t{256}, std::size_t{16384},
+                                std::size_t{262144}}) {
+      const double rb = allreduce_time(false, procs, doubles);
+      const double rd = allreduce_time(true, procs, doubles);
+      t.add_row({std::to_string(procs), std::to_string(doubles), harness::Table::fmt(rb, 1),
+                 harness::Table::fmt(rd, 1), rd < rb ? "recursive-dbl" : "reduce+bcast"});
+    }
+  }
+  std::cout << "== Ablation: allreduce algorithm (latency vs bandwidth tradeoff) ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (bool rd : {false, true}) {
+    const char* name = rd ? "abl/allreduce/recursive_dbl" : "abl/allreduce/reduce_bcast";
+    benchmark::RegisterBenchmark(name, [rd](benchmark::State& st) {
+      for (auto _ : st) st.counters["us_8B_x16"] = allreduce_time(rd, 16, 1);
+    })->Iterations(1)->Unit(benchmark::kMicrosecond);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

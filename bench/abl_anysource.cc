@@ -1,0 +1,46 @@
+// Ablation A4 — the cost of the any-source management lists (§3.2.2,
+// Figure 3): ping-pong with MPI_ANY_SOURCE receives against known-source
+// receives. The paper measures a constant ~300 ns gap (§4.1.1).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig cfg_ib() {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  return cfg;
+}
+
+void print_table() {
+  const std::vector<std::size_t> sizes = harness::latency_sizes();
+  auto known = harness::netpipe(cfg_ib(), sizes);
+  auto anysrc = harness::netpipe(cfg_ib(), sizes, 3, /*any_source=*/true);
+  harness::Table t({"size(B)", "known source (us)", "ANY_SOURCE (us)", "gap (ns)"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t.add_row({harness::Table::bytes(sizes[i]), harness::Table::fmt(known[i].latency_us),
+               harness::Table::fmt(anysrc[i].latency_us),
+               harness::Table::fmt((anysrc[i].latency_us - known[i].latency_us) * 1000, 0)});
+  }
+  std::cout << "== Ablation: any-source management lists latency cost ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (bool as : {false, true}) {
+    const char* name = as ? "abl/anysource/wildcard" : "abl/anysource/known";
+    benchmark::RegisterBenchmark(name, [as](benchmark::State& st) {
+      for (auto _ : st) {
+        st.counters["lat_us"] = nmx::harness::netpipe(cfg_ib(), {4}, 3, as)[0].latency_us;
+      }
+    })->Iterations(1)->Unit(benchmark::kMicrosecond);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

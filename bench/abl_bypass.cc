@@ -1,0 +1,62 @@
+// Ablation A5 — the CH3 bypass itself (§2.1.3 / §3.1, Figure 2): the same
+// stack with the paper's direct CH3->NewMadeleine path vs the stock netmod
+// path (copies through fixed cells, CH3 rendezvous nested on top of
+// NewMadeleine's internal one).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig cfg_mode(bool bypass) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.bypass = bypass;
+  return cfg;
+}
+
+void print_tables() {
+  const auto lat_sizes = harness::latency_sizes();
+  auto legacy_l = harness::netpipe(cfg_mode(false), lat_sizes);
+  auto bypass_l = harness::netpipe(cfg_mode(true), lat_sizes);
+  harness::Table lat({"size(B)", "legacy netmod (us)", "CH3 bypass (us)"});
+  for (std::size_t i = 0; i < lat_sizes.size(); ++i) {
+    lat.add_row({harness::Table::bytes(lat_sizes[i]), harness::Table::fmt(legacy_l[i].latency_us),
+                 harness::Table::fmt(bypass_l[i].latency_us)});
+  }
+  std::cout << "== Ablation: CH3 bypass vs stock netmod path — latency ==\n";
+  lat.print(std::cout);
+
+  const auto bw_sizes = harness::bandwidth_sizes();
+  auto legacy_b = harness::netpipe(cfg_mode(false), bw_sizes);
+  auto bypass_b = harness::netpipe(cfg_mode(true), bw_sizes);
+  harness::Table bw({"size(B)", "legacy netmod (MBps)", "CH3 bypass (MBps)"});
+  for (std::size_t i = 0; i < bw_sizes.size(); ++i) {
+    bw.add_row({harness::Table::bytes(bw_sizes[i]),
+                harness::Table::fmt(legacy_b[i].bandwidth_MBps, 1),
+                harness::Table::fmt(bypass_b[i].bandwidth_MBps, 1)});
+  }
+  std::cout << "\n== Ablation: CH3 bypass vs stock netmod path — bandwidth "
+               "(nested handshake, Figure 2) ==\n";
+  bw.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  for (bool bypass : {false, true}) {
+    const char* name = bypass ? "abl/bypass/on" : "abl/bypass/off";
+    benchmark::RegisterBenchmark(name, [bypass](benchmark::State& st) {
+      for (auto _ : st) {
+        st.counters["lat_us"] = nmx::harness::netpipe(cfg_mode(bypass), {4})[0].latency_us;
+        st.counters["bw96K_MBps"] =
+            nmx::harness::netpipe(cfg_mode(bypass), {96 * 1024})[0].bandwidth_MBps;
+      }
+    })->Iterations(1);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,51 @@
+// Ablation A3 — the registration cache (the mechanism behind MVAPICH2's
+// Figure 4b lead, and what NewMadeleine deliberately does without, §4.1.1):
+// repeated large transfers from the same buffer with the MVAPICH2-like
+// stack, cache on vs off.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+double mvapich_bw(bool rcache, std::size_t size) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = mpi::StackKind::Mvapich2;
+  cfg.mvapich_rcache = rcache;
+  return harness::netpipe(cfg, {size})[0].bandwidth_MBps;
+}
+
+void print_table() {
+  harness::Table t({"size", "no cache (MBps)", "cache (MBps)", "gain", "Nmad (no cache by design)"});
+  mpi::ClusterConfig nmad;
+  nmad.nodes = 2;
+  nmad.procs = 2;
+  nmad.stack = mpi::StackKind::Mpich2Nmad;
+  for (std::size_t size : {std::size_t{256} << 10, std::size_t{1} << 20, std::size_t{4} << 20,
+                           std::size_t{64} << 20}) {
+    const double off = mvapich_bw(false, size);
+    const double on = mvapich_bw(true, size);
+    const double n = harness::netpipe(nmad, {size})[0].bandwidth_MBps;
+    t.add_row({harness::Table::bytes(size), harness::Table::fmt(off, 1),
+               harness::Table::fmt(on, 1), harness::Table::fmt(on / off, 2) + "x",
+               harness::Table::fmt(n, 1)});
+  }
+  std::cout << "== Ablation: registration cache on the MVAPICH2-like RDMA path ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (bool on : {false, true}) {
+    const char* name = on ? "abl/rcache/on" : "abl/rcache/off";
+    benchmark::RegisterBenchmark(name, [on](benchmark::State& st) {
+      for (auto _ : st) st.counters["MBps"] = mvapich_bw(on, std::size_t{4} << 20);
+    })->Iterations(1);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

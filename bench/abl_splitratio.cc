@@ -1,0 +1,58 @@
+// Ablation A2 — adaptive vs naive multirail split ratio (§2.2, [4]): on
+// asymmetric rails (fast IB + slower MX), splitting 50/50 makes the slow
+// rail the bottleneck; the sampling-driven adaptive ratio equalizes finish
+// times. On symmetric rails the two policies coincide.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+double multirail_bw(bool adaptive, net::NicProfile second_rail, std::size_t size) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {net::ib_profile(), second_rail};
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = nmad::StrategyKind::SplitBalance;
+  cfg.adaptive_split = adaptive;
+  return harness::netpipe(cfg, {size})[0].bandwidth_MBps;
+}
+
+net::NicProfile slow_mx(double factor) {
+  net::NicProfile p = net::mx_profile();
+  p.bandwidth *= factor;
+  p.name = "myri-slowed";
+  return p;
+}
+
+void print_table() {
+  harness::Table t({"2nd rail", "size", "even 50/50 (MBps)", "adaptive (MBps)", "gain"});
+  for (double factor : {1.0, 0.5, 0.25, 0.1}) {
+    for (std::size_t size : {std::size_t{4} << 20, std::size_t{64} << 20}) {
+      const double even = multirail_bw(false, slow_mx(factor), size);
+      const double adaptive = multirail_bw(true, slow_mx(factor), size);
+      t.add_row({"MX x" + harness::Table::fmt(factor, 2), harness::Table::bytes(size),
+                 harness::Table::fmt(even, 1), harness::Table::fmt(adaptive, 1),
+                 harness::Table::fmt(adaptive / even, 2) + "x"});
+    }
+  }
+  std::cout << "== Ablation: adaptive split ratio vs even split on asymmetric rails ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (bool adaptive : {false, true}) {
+    const char* name = adaptive ? "abl/split/adaptive" : "abl/split/even";
+    benchmark::RegisterBenchmark(name, [adaptive](benchmark::State& st) {
+      for (auto _ : st) {
+        st.counters["MBps"] = multirail_bw(adaptive, slow_mx(0.25), std::size_t{16} << 20);
+      }
+    })->Iterations(1);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,82 @@
+// Ablation A1 — message aggregation (§2.2: "Such strategies may use, for
+// instance, reordering techniques or messages aggregation"): a burst of
+// small sends to one destination, queued while the sender is outside MPI,
+// then flushed. strat_aggreg packs them into few wire packets; strat_default
+// pays the per-packet NIC cost for each.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+double burst_time(nmad::StrategyKind strategy, int msgs, std::size_t size) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = strategy;
+  mpi::Cluster cluster(cfg);
+  double t = 0;
+  cluster.run([&](mpi::Comm& c) {
+    std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(msgs));
+    for (auto& b : bufs) b.resize(size);
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(bufs.size());
+      // isends queue in the submission window; the waitall flushes them —
+      // by then the strategy sees the whole burst at once.
+      for (int i = 0; i < msgs; ++i) {
+        reqs.push_back(c.isend(bufs[static_cast<std::size_t>(i)].data(), size, 1, i));
+      }
+      c.waitall(reqs);
+      char ack;
+      c.recv(&ack, 1, 1, 999);
+      t = c.wtime() - t0;
+    } else {
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(bufs.size());
+      for (int i = 0; i < msgs; ++i) {
+        reqs.push_back(c.irecv(bufs[static_cast<std::size_t>(i)].data(), size, 0, i));
+      }
+      c.waitall(reqs);
+      char ack = 1;
+      c.send(&ack, 1, 0, 999);
+    }
+  });
+  return t * 1e6;
+}
+
+void print_table() {
+  harness::Table t({"msgs x size", "strat_default(us)", "strat_aggreg(us)", "speedup"});
+  for (auto [msgs, size] : {std::pair<int, std::size_t>{16, 64},
+                            {64, 64},
+                            {16, 512},
+                            {64, 512},
+                            {128, 1024}}) {
+    const double d = burst_time(nmx::nmad::StrategyKind::Default, msgs, size);
+    const double a = burst_time(nmx::nmad::StrategyKind::Aggreg, msgs, size);
+    t.add_row({std::to_string(msgs) + " x " + harness::Table::bytes(size),
+               harness::Table::fmt(d, 1), harness::Table::fmt(a, 1),
+               harness::Table::fmt(d / a, 2) + "x"});
+  }
+  std::cout << "== Ablation: message aggregation (burst of small sends, one destination) ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (auto strat : {nmx::nmad::StrategyKind::Default, nmx::nmad::StrategyKind::Aggreg}) {
+    const char* name = strat == nmx::nmad::StrategyKind::Default ? "abl/strategy/default"
+                                                                 : "abl/strategy/aggreg";
+    benchmark::RegisterBenchmark(name, [strat](benchmark::State& st) {
+      for (auto _ : st) {
+        st.counters["burst_us"] = burst_time(strat, 64, 512);
+      }
+    })->Iterations(1)->Unit(benchmark::kMicrosecond);
+  }
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,63 @@
+// Extension bench — the IS kernel the paper excluded ("IS needs datatypes
+// support and MPICH2-NewMadeleine does not handle yet this functionality",
+// §4.2). With the datatype engine and alltoallv in place, IS runs on the
+// same Figure 8 testbed as the other kernels.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "nas/nas.hpp"
+
+namespace {
+
+using namespace nmx;
+
+double run_is(mpi::StackKind stack, bool pioman, int procs, nas::NasClass cls, double fraction) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 10;
+  cfg.procs = procs;
+  cfg.rails = {net::ib_profile()};
+  cfg.cyclic_mapping = true;
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  mpi::Cluster cluster(cfg);
+  nas::NasConfig nc;
+  nc.cls = cls;
+  nc.iter_fraction = fraction;
+  return nas::run_nas(cluster, "IS", nc).seconds;
+}
+
+void print_table() {
+  const char* e = std::getenv("NMX_FIG8_CLASS");
+  const nas::NasClass cls = (e && e[0] == 'A')   ? nas::NasClass::A
+                            : (e && e[0] == 'B') ? nas::NasClass::B
+                            : (e && e[0] == 'S') ? nas::NasClass::S
+                                                 : nas::NasClass::C;
+  const char* f = std::getenv("NMX_FIG8_FRACTION");
+  const double fraction = f ? std::atof(f) : 0.2;
+
+  harness::Table t({"procs", "MVAPICH2", "Open_MPI", "MPICH2-NMad", "MPICH2-NMad+PIOMan"});
+  for (int procs : {8, 16, 32, 64}) {
+    t.add_row({std::to_string(procs),
+               harness::Table::fmt(run_is(mpi::StackKind::Mvapich2, false, procs, cls, fraction), 1),
+               harness::Table::fmt(run_is(mpi::StackKind::OpenMpiBtlIb, false, procs, cls, fraction), 1),
+               harness::Table::fmt(run_is(mpi::StackKind::Mpich2Nmad, false, procs, cls, fraction), 1),
+               harness::Table::fmt(run_is(mpi::StackKind::Mpich2Nmad, true, procs, cls, fraction), 1)});
+  }
+  std::cout << "== Extension: IS class " << nas::to_char(cls)
+            << " (seconds; excluded from the paper's Figure 8) ==\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("ext/is/16procs", [](benchmark::State& st) {
+    for (auto _ : st) {
+      st.counters["seconds"] =
+          run_is(nmx::mpi::StackKind::Mpich2Nmad, false, 16, nmx::nas::NasClass::A, 0.5);
+    }
+  })->Iterations(1);
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,85 @@
+// Extension bench — MPI-2 RMA (§5 future work): fence-epoch put/get
+// latency and bandwidth across the stacks, against plain send/recv. Because
+// the one-sided layer rides the normal transports, NewMadeleine's
+// optimizations (and PIOMan's costs) show through unchanged.
+#include "bench_common.hpp"
+
+#include "mpi/rma.hpp"
+
+namespace {
+
+using namespace nmx;
+
+struct RmaPoint {
+  double put_us;
+  double get_us;
+  double sendrecv_us;
+};
+
+RmaPoint measure(mpi::StackKind stack, std::size_t size) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = stack;
+  mpi::Cluster cluster(cfg);
+  RmaPoint out{};
+  cluster.run([&](mpi::Comm& c) {
+    std::vector<std::byte> win_mem(size);
+    std::vector<std::byte> local(size);
+    mpi::Window win(c, win_mem.data(), win_mem.size());
+
+    win.fence();  // warm everything up
+    double t0 = c.wtime();
+    if (c.rank() == 0) win.put(local.data(), size, 1, 0);
+    win.fence();
+    if (c.rank() == 0) out.put_us = (c.wtime() - t0) * 1e6;
+
+    t0 = c.wtime();
+    if (c.rank() == 0) win.get(local.data(), size, 1, 0);
+    win.fence();
+    if (c.rank() == 0) out.get_us = (c.wtime() - t0) * 1e6;
+
+    // two-sided reference
+    t0 = c.wtime();
+    if (c.rank() == 0) {
+      c.send(local.data(), size, 1, 1);
+      char ack;
+      c.recv(&ack, 1, 1, 2);
+      out.sendrecv_us = (c.wtime() - t0) * 1e6;
+    } else {
+      c.recv(local.data(), size, 0, 1);
+      char ack = 0;
+      c.send(&ack, 1, 0, 2);
+    }
+  });
+  return out;
+}
+
+void print_table() {
+  for (auto [label, stack] :
+       {std::pair<const char*, mpi::StackKind>{"MPICH2-NMad", mpi::StackKind::Mpich2Nmad},
+        {"MVAPICH2", mpi::StackKind::Mvapich2}}) {
+    harness::Table t({"size", "put+fence (us)", "get+fence (us)", "send/recv+ack (us)"});
+    for (std::size_t size : {std::size_t{8}, std::size_t{4} << 10, std::size_t{256} << 10,
+                             std::size_t{4} << 20}) {
+      const RmaPoint p = measure(stack, size);
+      t.add_row({harness::Table::bytes(size), harness::Table::fmt(p.put_us, 1),
+                 harness::Table::fmt(p.get_us, 1), harness::Table::fmt(p.sendrecv_us, 1)});
+    }
+    std::cout << "== Extension: MPI-2 RMA over " << label << " (fence epochs) ==\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("ext/rma/put4K", [](benchmark::State& st) {
+    for (auto _ : st) {
+      st.counters["put_us"] = measure(nmx::mpi::StackKind::Mpich2Nmad, 4096).put_us;
+    }
+  })->Iterations(1)->Unit(benchmark::kMicrosecond);
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,72 @@
+// Figure 4 — InfiniBand point-to-point comparisons (§4.1.1):
+//   (a) latency 1..512 B:  MVAPICH2 1.5µs, Open MPI 1.6µs,
+//       MPICH2:Nem:Nmad:IB 2.1µs, +300 ns with MPI_ANY_SOURCE;
+//   (b) bandwidth 1 B..64 MB: MVAPICH2 on top (registration cache),
+//       MPICH2-Nmad above Open MPI at medium sizes, slightly below
+//       MVAPICH2 at large sizes (on-the-fly registration).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig ib_config(mpi::StackKind stack) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {net::ib_profile()};
+  cfg.stack = stack;
+  return cfg;
+}
+
+void print_tables() {
+  const auto lat_sizes = harness::latency_sizes();
+  const auto bw_sizes = harness::bandwidth_sizes();
+
+  auto mvapich_l = harness::netpipe(ib_config(mpi::StackKind::Mvapich2), lat_sizes);
+  auto ompi_l = harness::netpipe(ib_config(mpi::StackKind::OpenMpiBtlIb), lat_sizes);
+  auto nmad_l = harness::netpipe(ib_config(mpi::StackKind::Mpich2Nmad), lat_sizes);
+  auto nmad_as_l = harness::netpipe(ib_config(mpi::StackKind::Mpich2Nmad), lat_sizes, 3,
+                                    /*any_source=*/true);
+
+  harness::Table lat({"size(B)", "MVAPICH2", "Open MPI", "MPICH2:Nem:Nmad:IB", "w/AS"});
+  for (std::size_t i = 0; i < lat_sizes.size(); ++i) {
+    lat.add_row({harness::Table::bytes(lat_sizes[i]), harness::Table::fmt(mvapich_l[i].latency_us),
+                 harness::Table::fmt(ompi_l[i].latency_us),
+                 harness::Table::fmt(nmad_l[i].latency_us),
+                 harness::Table::fmt(nmad_as_l[i].latency_us)});
+  }
+  std::cout << "== Figure 4(a): Infiniband latency (usec, one-way) ==\n";
+  lat.print(std::cout);
+
+  auto mvapich_b = harness::netpipe(ib_config(mpi::StackKind::Mvapich2), bw_sizes);
+  auto ompi_b = harness::netpipe(ib_config(mpi::StackKind::OpenMpiBtlIb), bw_sizes);
+  auto nmad_b = harness::netpipe(ib_config(mpi::StackKind::Mpich2Nmad), bw_sizes);
+
+  harness::Table bw({"size(B)", "MVAPICH2", "Open MPI", "MPICH2:Nem:Nmad:IB"});
+  for (std::size_t i = 0; i < bw_sizes.size(); ++i) {
+    bw.add_row({harness::Table::bytes(bw_sizes[i]),
+                harness::Table::fmt(mvapich_b[i].bandwidth_MBps, 1),
+                harness::Table::fmt(ompi_b[i].bandwidth_MBps, 1),
+                harness::Table::fmt(nmad_b[i].bandwidth_MBps, 1)});
+  }
+  std::cout << "\n== Figure 4(b): Infiniband bandwidth (MBps) ==\n";
+  bw.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  using nmx::bench::register_netpipe;
+  register_netpipe("fig4/latency4B/MVAPICH2", ib_config(nmx::mpi::StackKind::Mvapich2), 4);
+  register_netpipe("fig4/latency4B/OpenMPI", ib_config(nmx::mpi::StackKind::OpenMpiBtlIb), 4);
+  register_netpipe("fig4/latency4B/MPICH2-Nmad", ib_config(nmx::mpi::StackKind::Mpich2Nmad), 4);
+  register_netpipe("fig4/latency4B/MPICH2-Nmad-AS", ib_config(nmx::mpi::StackKind::Mpich2Nmad), 4,
+                   true);
+  register_netpipe("fig4/bw4M/MVAPICH2", ib_config(nmx::mpi::StackKind::Mvapich2), 4 << 20);
+  register_netpipe("fig4/bw4M/OpenMPI", ib_config(nmx::mpi::StackKind::OpenMpiBtlIb), 4 << 20);
+  register_netpipe("fig4/bw4M/MPICH2-Nmad", ib_config(nmx::mpi::StackKind::Mpich2Nmad), 4 << 20);
+  return nmx::bench::run_registered(argc, argv);
+}

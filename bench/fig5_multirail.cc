@@ -1,0 +1,72 @@
+// Figure 5 — heterogeneous multirail (Myri-10G + InfiniBand 10G) with the
+// split_balance strategy (§4.1.1): small messages ride the fastest rail
+// (latency ≈ the IB-only curve), large messages are split across both rails
+// with the sampled adaptive ratio (aggregated bandwidth ≈ the sum of the
+// rails).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig rail_config(std::vector<net::NicProfile> rails) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = std::move(rails);
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = nmad::StrategyKind::SplitBalance;
+  return cfg;
+}
+
+void print_tables() {
+  const auto lat_sizes = harness::latency_sizes();
+  const auto bw_sizes = harness::bandwidth_sizes();
+
+  const auto mx = rail_config({net::mx_profile()});
+  const auto ib = rail_config({net::ib_profile()});
+  const auto multi = rail_config({net::ib_profile(), net::mx_profile()});
+
+  auto mx_l = harness::netpipe(mx, lat_sizes);
+  auto ib_l = harness::netpipe(ib, lat_sizes);
+  auto multi_l = harness::netpipe(multi, lat_sizes);
+
+  harness::Table lat({"size(B)", "MPICH2:Nmad:MX", "MPICH2:Nmad:IB", "MPICH2:Nmad:Multi-MX-IB"});
+  for (std::size_t i = 0; i < lat_sizes.size(); ++i) {
+    lat.add_row({harness::Table::bytes(lat_sizes[i]), harness::Table::fmt(mx_l[i].latency_us),
+                 harness::Table::fmt(ib_l[i].latency_us),
+                 harness::Table::fmt(multi_l[i].latency_us)});
+  }
+  std::cout << "== Figure 5(a): multirail latency (usec, one-way) ==\n";
+  lat.print(std::cout);
+
+  auto mx_b = harness::netpipe(mx, bw_sizes);
+  auto ib_b = harness::netpipe(ib, bw_sizes);
+  auto multi_b = harness::netpipe(multi, bw_sizes);
+
+  harness::Table bw({"size(B)", "MPICH2:Nmad:MX", "MPICH2:Nmad:IB", "MPICH2:Nmad:Multi-MX-IB"});
+  for (std::size_t i = 0; i < bw_sizes.size(); ++i) {
+    bw.add_row({harness::Table::bytes(bw_sizes[i]), harness::Table::fmt(mx_b[i].bandwidth_MBps, 1),
+                harness::Table::fmt(ib_b[i].bandwidth_MBps, 1),
+                harness::Table::fmt(multi_b[i].bandwidth_MBps, 1)});
+  }
+  std::cout << "\n== Figure 5(b): multirail bandwidth (MBps) ==\n";
+  bw.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  using nmx::bench::register_netpipe;
+  register_netpipe("fig5/latency4B/MX", rail_config({nmx::net::mx_profile()}), 4);
+  register_netpipe("fig5/latency4B/IB", rail_config({nmx::net::ib_profile()}), 4);
+  register_netpipe("fig5/latency4B/Multi",
+                   rail_config({nmx::net::ib_profile(), nmx::net::mx_profile()}), 4);
+  register_netpipe("fig5/bw16M/MX", rail_config({nmx::net::mx_profile()}), 16 << 20);
+  register_netpipe("fig5/bw16M/IB", rail_config({nmx::net::ib_profile()}), 16 << 20);
+  register_netpipe("fig5/bw16M/Multi",
+                   rail_config({nmx::net::ib_profile(), nmx::net::mx_profile()}), 16 << 20);
+  return nmx::bench::run_registered(argc, argv);
+}

@@ -1,0 +1,80 @@
+// Figure 6 — the raw cost of centralizing progression in PIOMan (§4.1.2):
+//   (a) shared memory: Nemesis vs Nemesis+PIOMan (~ +450 ns, constant) with
+//       Open MPI's sm path for reference;
+//   (b) Myrinet MX: MPICH2:Nem:Nmad:MX vs +PIOMan (~ +2 µs), against Open
+//       MPI's two MX paths (lean CM PML vs heavier BTL).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig shm_config(mpi::StackKind stack, bool pioman) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.procs = 2;
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  return cfg;
+}
+
+mpi::ClusterConfig mx_config(mpi::StackKind stack, bool pioman) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {net::mx_profile()};
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  return cfg;
+}
+
+void print_tables() {
+  const auto sizes = harness::latency_sizes();
+
+  auto nem = harness::netpipe(shm_config(mpi::StackKind::Mpich2Nmad, false), sizes);
+  auto nem_piom = harness::netpipe(shm_config(mpi::StackKind::Mpich2Nmad, true), sizes);
+  auto ompi_shm = harness::netpipe(shm_config(mpi::StackKind::OpenMpiBtlIb, false), sizes);
+
+  harness::Table a({"size(B)", "MPICH2:Nemesis", "MPICH2:Nemesis:PIOMan", "Open MPI"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    a.add_row({harness::Table::bytes(sizes[i]), harness::Table::fmt(nem[i].latency_us),
+               harness::Table::fmt(nem_piom[i].latency_us),
+               harness::Table::fmt(ompi_shm[i].latency_us)});
+  }
+  std::cout << "== Figure 6(a): latency over shared memory (usec, one-way) ==\n";
+  a.print(std::cout);
+
+  auto cm = harness::netpipe(mx_config(mpi::StackKind::OpenMpiCmMx, false), sizes);
+  auto btl = harness::netpipe(mx_config(mpi::StackKind::OpenMpiBtlMx, false), sizes);
+  auto nmad_mx = harness::netpipe(mx_config(mpi::StackKind::Mpich2Nmad, false), sizes);
+  auto nmad_piom = harness::netpipe(mx_config(mpi::StackKind::Mpich2Nmad, true), sizes);
+
+  harness::Table b({"size(B)", "OpenMPI:PML:MX", "OpenMPI:BTL:MX", "MPICH2:Nem:Nmad:MX",
+                    "MPICH2:Nem:Nmad:PIOM:MX"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    b.add_row({harness::Table::bytes(sizes[i]), harness::Table::fmt(cm[i].latency_us),
+               harness::Table::fmt(btl[i].latency_us), harness::Table::fmt(nmad_mx[i].latency_us),
+               harness::Table::fmt(nmad_piom[i].latency_us)});
+  }
+  std::cout << "\n== Figure 6(b): latency over Myrinet MX (usec, one-way) ==\n";
+  b.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  using nmx::bench::register_netpipe;
+  register_netpipe("fig6/shm4B/Nemesis", shm_config(nmx::mpi::StackKind::Mpich2Nmad, false), 4);
+  register_netpipe("fig6/shm4B/Nemesis-PIOMan", shm_config(nmx::mpi::StackKind::Mpich2Nmad, true),
+                   4);
+  register_netpipe("fig6/shm4B/OpenMPI", shm_config(nmx::mpi::StackKind::OpenMpiBtlIb, false), 4);
+  register_netpipe("fig6/mx4B/OpenMPI-CM", mx_config(nmx::mpi::StackKind::OpenMpiCmMx, false), 4);
+  register_netpipe("fig6/mx4B/OpenMPI-BTL", mx_config(nmx::mpi::StackKind::OpenMpiBtlMx, false),
+                   4);
+  register_netpipe("fig6/mx4B/MPICH2-Nmad", mx_config(nmx::mpi::StackKind::Mpich2Nmad, false), 4);
+  register_netpipe("fig6/mx4B/MPICH2-Nmad-PIOMan", mx_config(nmx::mpi::StackKind::Mpich2Nmad, true),
+                   4);
+  return nmx::bench::run_registered(argc, argv);
+}

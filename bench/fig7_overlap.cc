@@ -1,0 +1,89 @@
+// Figure 7 — asynchronous progression (§4.1.2): isend + compute + wait.
+//   (a) eager messages over MX, 20 µs of computation: only the PIOMan stack
+//       overlaps (sending time ≈ max(comm, compute); everyone else sums);
+//   (b) rendezvous progression over IB, 400 µs of computation: only PIOMan
+//       detects the handshake during the computation.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nmx;
+
+mpi::ClusterConfig cfg_for(mpi::StackKind stack, bool pioman, bool mx) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {mx ? net::mx_profile() : net::ib_profile()};
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  return cfg;
+}
+
+void table_for(const char* title, bool mx, const std::vector<std::size_t>& sizes,
+               double compute_s) {
+  struct Entry {
+    const char* label;
+    mpi::StackKind stack;
+    bool pioman;
+    double compute;
+  };
+  std::vector<Entry> entries;
+  if (mx) {
+    entries = {{"Reference (no computation)", mpi::StackKind::Mpich2Nmad, false, 0.0},
+               {"MPICH2:Nem:NMad:MX", mpi::StackKind::Mpich2Nmad, false, compute_s},
+               {"MPICH2:Nem:Nmad:PIOMan:MX", mpi::StackKind::Mpich2Nmad, true, compute_s},
+               {"Open MPI:BTL:MX", mpi::StackKind::OpenMpiBtlMx, false, compute_s},
+               {"Open MPI:PML:MX", mpi::StackKind::OpenMpiCmMx, false, compute_s}};
+  } else {
+    entries = {{"Reference (no computation)", mpi::StackKind::Mpich2Nmad, false, 0.0},
+               {"MPICH2:Nem:NMad:IB", mpi::StackKind::Mpich2Nmad, false, compute_s},
+               {"MPICH2:Nem:Nmad:PIOMan:IB", mpi::StackKind::Mpich2Nmad, true, compute_s},
+               {"Open MPI", mpi::StackKind::OpenMpiBtlIb, false, compute_s},
+               {"MVAPICH2", mpi::StackKind::Mvapich2, false, compute_s}};
+  }
+
+  std::vector<std::string> headers{"size(B)"};
+  for (const auto& e : entries) headers.push_back(e.label);
+  harness::Table t(std::move(headers));
+
+  std::vector<std::vector<harness::OverlapPoint>> series;
+  for (const auto& e : entries) {
+    series.push_back(harness::overlap(cfg_for(e.stack, e.pioman, mx), sizes, e.compute));
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row{harness::Table::bytes(sizes[i])};
+    for (const auto& s : series) row.push_back(harness::Table::fmt(s[i].send_time_us, 1));
+    t.add_row(std::move(row));
+  }
+  std::cout << title;
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  table_for("== Figure 7(a): overlapping eager messages over MX, 20us computation "
+            "(sending time, usec) ==\n",
+            /*mx=*/true, {4096, 16384}, 20e-6);
+  table_for("== Figure 7(b): rendezvous progression over IB, 400us computation "
+            "(sending time, usec) ==\n",
+            /*mx=*/false, {16384, 65536, 262144, 1048576}, 400e-6);
+
+  auto reg = [](const std::string& name, nmx::mpi::StackKind stack, bool pioman, bool mx,
+                std::size_t size, double comp) {
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+      for (auto _ : st) {
+        auto pts = nmx::harness::overlap(cfg_for(stack, pioman, mx), {size}, comp);
+        st.counters["send_us"] = pts[0].send_time_us;
+      }
+    })->Iterations(1)->Unit(benchmark::kMicrosecond);
+  };
+  reg("fig7a/16K/MPICH2-Nmad", nmx::mpi::StackKind::Mpich2Nmad, false, true, 16384, 20e-6);
+  reg("fig7a/16K/MPICH2-Nmad-PIOMan", nmx::mpi::StackKind::Mpich2Nmad, true, true, 16384, 20e-6);
+  reg("fig7b/1M/MPICH2-Nmad", nmx::mpi::StackKind::Mpich2Nmad, false, false, 1 << 20, 400e-6);
+  reg("fig7b/1M/MPICH2-Nmad-PIOMan", nmx::mpi::StackKind::Mpich2Nmad, true, false, 1 << 20,
+      400e-6);
+  reg("fig7b/1M/MVAPICH2", nmx::mpi::StackKind::Mvapich2, false, false, 1 << 20, 400e-6);
+  return nmx::bench::run_registered(argc, argv);
+}

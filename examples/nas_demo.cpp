@@ -1,0 +1,36 @@
+// NAS kernel demo: run the CG and FT kernels (class A) on the paper's
+// Grid'5000-like testbed with two different MPI stacks and compare.
+//
+//   $ ./examples/nas_demo
+#include <cstdio>
+
+#include "mpi/cluster.hpp"
+#include "nas/nas.hpp"
+
+int main() {
+  using namespace nmx;
+
+  auto run = [](mpi::StackKind stack, const char* kernel, int procs) {
+    mpi::ClusterConfig cfg;
+    cfg.nodes = 10;
+    cfg.procs = procs;
+    cfg.cyclic_mapping = true;  // one process per node while they last
+    cfg.rails = {net::ib_profile()};
+    cfg.stack = stack;
+    mpi::Cluster cluster(cfg);
+    nas::NasConfig nc;
+    nc.cls = nas::NasClass::A;
+    nc.iter_fraction = 0.3;  // simulate 30% of the iterations, extrapolate
+    return nas::run_nas(cluster, kernel, nc);
+  };
+
+  std::printf("mini-NAS, class A, 16 processes on 10 nodes (times extrapolated):\n\n");
+  std::printf("  kernel    MPICH2-NMad    MVAPICH2-like\n");
+  for (const char* kernel : {"CG", "FT", "MG"}) {
+    const auto nmad = run(mpi::StackKind::Mpich2Nmad, kernel, 16);
+    const auto mvapich = run(mpi::StackKind::Mvapich2, kernel, 16);
+    std::printf("  %-6s    %8.2f s     %8.2f s\n", kernel, nmad.seconds, mvapich.seconds);
+  }
+  std::printf("\nsee bench/fig8_nas for the full Figure 8 reproduction.\n");
+  return 0;
+}

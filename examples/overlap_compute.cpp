@@ -1,0 +1,53 @@
+// Communication/computation overlap demo (the paper's Figure 7): the same
+// isend + compute + wait sequence on the plain stack and on the stack with
+// PIOMan's background progression. Only the latter hides the transfer.
+//
+//   $ ./examples/overlap_compute
+#include <cstdio>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace {
+
+double send_and_compute(bool pioman, std::size_t bytes, double compute_us) {
+  using namespace nmx;
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {net::ib_profile()};
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.pioman = pioman;
+  mpi::Cluster cluster(cfg);
+
+  double measured = 0;
+  cluster.run([&](mpi::Comm& c) {
+    std::vector<std::byte> buf(bytes);
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      mpi::Request r = c.isend(buf.data(), buf.size(), 1, 0);
+      c.compute(compute_us * 1e-6);  // the application does real work here
+      c.wait(r);
+      measured = (c.wtime() - t0) * 1e6;
+    } else {
+      c.recv(buf.data(), buf.size(), 0, 0);
+    }
+  });
+  return measured;
+}
+
+}  // namespace
+
+int main() {
+  const double compute_us = 400.0;
+  std::printf("isend(1 MB) + compute(%.0f us) + wait, over InfiniBand:\n\n", compute_us);
+  const double comm_only = send_and_compute(false, 1 << 20, 0.0);
+  const double plain = send_and_compute(false, 1 << 20, compute_us);
+  const double piom = send_and_compute(true, 1 << 20, compute_us);
+  std::printf("  communication alone:               %7.1f us\n", comm_only);
+  std::printf("  without PIOMan (no progression):   %7.1f us  ~ comm + compute\n", plain);
+  std::printf("  with PIOMan (background engine):   %7.1f us  ~ max(comm, compute)\n", piom);
+  std::printf("\noverlap efficiency: %.0f%% of the computation is hidden.\n",
+              100.0 * (plain - piom) / compute_us);
+  return 0;
+}

@@ -1,0 +1,314 @@
+#include "baseline/base_transport.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace nmx::baseline {
+
+namespace {
+constexpr Time kSelfLatency = 0.1_us;
+
+struct BaseShmHdr {
+  int src_rank = -1;
+  int tag = 0;
+  int context = 0;
+};
+}  // namespace
+
+BaseTransport::BaseTransport(Env env, Time sw_send, Time sw_recv, Time shm_extra)
+    : eng_(env.eng),
+      fabric_(env.fabric),
+      shm_(env.shm),
+      rank_(env.rank),
+      local_index_(env.local_index),
+      my_node_(env.fabric->topology().node_of(env.rank)),
+      sw_send_(sw_send),
+      sw_recv_(sw_recv),
+      shm_extra_(shm_extra) {
+  env.router->register_proc(rank_, [this](net::WirePacket&& p) { rx_wire(std::move(p)); });
+  if (shm_) {
+    shm_->set_deliver(local_index_, [this](nemesis::Message&& m) { handle_shm(std::move(m)); });
+    shm_->set_activity_hook(local_index_, [this] {
+      if (in_progress()) shm_->poll(local_index_);
+      // No PIOMan equivalent: cells wait for the next MPI call.
+    });
+  }
+}
+
+BaseTransport::~BaseTransport() = default;
+
+BaseRequest* BaseTransport::new_request(BaseRequest::Kind kind) {
+  requests_.emplace_back();
+  auto it = std::prev(requests_.end());
+  it->self = it;
+  it->kind = kind;
+  return &*it;
+}
+
+void BaseTransport::release(mpi::TxRequest* r) {
+  auto* req = static_cast<BaseRequest*>(r);
+  NMX_ASSERT_MSG(req->completed, "releasing an incomplete request");
+  requests_.erase(req->self);
+}
+
+// ---------------------------------------------------------------------------
+// matching
+// ---------------------------------------------------------------------------
+
+BaseRequest* BaseTransport::match_posted(int src, int tag, int context) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    BaseRequest* r = *it;
+    if (r->context != context) continue;
+    if (r->peer != mpi::ANY_SOURCE && r->peer != src) continue;
+    if (r->tag != mpi::ANY_TAG && r->tag != tag) continue;
+    posted_.erase(it);
+    return r;
+  }
+  return nullptr;
+}
+
+bool BaseTransport::match_unexpected(BaseRequest* req) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->context != req->context) continue;
+    if (req->peer != mpi::ANY_SOURCE && req->peer != it->src) continue;
+    if (req->tag != mpi::ANY_TAG && req->tag != it->tag) continue;
+    UnexMsg msg = std::move(*it);
+    unexpected_.erase(it);
+    if (msg.rdv) {
+      grant_rdv(req, msg.rts);
+    } else {
+      NMX_ASSERT_MSG(msg.payload.size() <= req->len, "message overflows receive buffer");
+      if (!msg.payload.empty()) std::memcpy(req->rbuf, msg.payload.data(), msg.payload.size());
+      complete_recv_after(req, msg.src, msg.tag, msg.payload.size(),
+                          calib::copy_cost(msg.payload.size()));
+    }
+    return true;
+  }
+  return false;
+}
+
+void BaseTransport::deliver_eager(int src, int tag, int context,
+                                  std::vector<std::byte> payload) {
+  BaseRequest* req = match_posted(src, tag, context);
+  if (req == nullptr) {
+    UnexMsg u;
+    u.src = src;
+    u.tag = tag;
+    u.context = context;
+    u.len = payload.size();
+    u.payload = std::move(payload);
+    unexpected_.push_back(std::move(u));
+    return;
+  }
+  NMX_ASSERT_MSG(payload.size() <= req->len, "message overflows receive buffer");
+  if (!payload.empty()) std::memcpy(req->rbuf, payload.data(), payload.size());
+  complete_recv_after(req, src, tag, payload.size(), calib::copy_cost(payload.size()));
+}
+
+// ---------------------------------------------------------------------------
+// isend / irecv
+// ---------------------------------------------------------------------------
+
+mpi::TxRequest* BaseTransport::isend(int dst, int tag, int context, const void* buf,
+                                     std::size_t len) {
+  BaseRequest* req = new_request(BaseRequest::Kind::Send);
+  req->peer = dst;
+  req->tag = tag;
+  req->context = context;
+  req->len = len;
+  if (dst == rank_) {
+    send_self(req, buf, len);
+  } else if (fabric_->topology().same_node(rank_, dst)) {
+    send_shm(req, buf, len);
+  } else {
+    net_send(req, buf, len);
+  }
+  return req;
+}
+
+mpi::TxRequest* BaseTransport::irecv(int src, int tag, int context, void* buf,
+                                     std::size_t len) {
+  BaseRequest* req = new_request(BaseRequest::Kind::Recv);
+  req->peer = src;
+  req->tag = tag;
+  req->context = context;
+  req->rbuf = static_cast<std::byte*>(buf);
+  req->len = len;
+  if (!match_unexpected(req)) posted_.push_back(req);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// completions
+// ---------------------------------------------------------------------------
+
+void BaseTransport::complete_recv_after(BaseRequest* req, int src, int tag, std::size_t count,
+                                        Time delay) {
+  req->status.source = src;
+  req->status.tag = tag;
+  req->status.count = count;
+  if (delay > 0) {
+    eng_->schedule_in(delay, [req] { req->complete_and_wake(); });
+  } else {
+    req->complete_and_wake();
+  }
+}
+
+void BaseTransport::complete_send(BaseRequest* req) {
+  req->status.count = req->len;
+  req->complete_and_wake();
+}
+
+// ---------------------------------------------------------------------------
+// network path
+// ---------------------------------------------------------------------------
+
+void BaseTransport::post_tx(int dst, Time prep, BasePkt pkt, std::function<void()> on_egress) {
+  PendingTx tx{dst, prep, std::move(pkt), std::move(on_egress)};
+  if (in_progress()) {
+    inject(std::move(tx));
+  } else {
+    pending_tx_.push_back(std::move(tx));  // no progress engine running
+  }
+}
+
+void BaseTransport::inject(PendingTx tx) {
+  // Send-side software (sw cost + copy/registration prep) serializes on the
+  // host CPU; the NIC then serializes transfers on its own.
+  const net::Channel::Grant g = prep_cpu_.reserve(eng_->now(), sw_send_ + tx.prep);
+  const int dst = tx.dst;
+  eng_->schedule(g.end, [this, dst, pkt = std::move(tx.pkt),
+                         on_egress = std::move(tx.on_egress)]() mutable {
+    net::WirePacket wp;
+    wp.src_node = my_node_;
+    wp.dst_node = fabric_->topology().node_of(dst);
+    wp.dst_proc = dst;
+    wp.rail = rail();
+    wp.bytes = pkt.wire_bytes();
+    wp.payload = std::move(pkt);
+    const Time egress = fabric_->transmit(std::move(wp));
+    if (on_egress) eng_->schedule(egress, std::move(on_egress));
+  });
+}
+
+void BaseTransport::rx_wire(net::WirePacket&& pkt) {
+  pending_rx_.push_back(std::move(std::any_cast<BasePkt&>(pkt.payload)));
+  if (in_progress()) drain();
+  // else: no background progress — handled at the next MPI call.
+}
+
+void BaseTransport::drain() {
+  while (!pending_rx_.empty()) {
+    BasePkt p = std::move(pending_rx_.front());
+    pending_rx_.pop_front();
+    eng_->schedule_in(sw_recv_, [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
+  }
+  while (!pending_tx_.empty()) {
+    PendingTx tx = std::move(pending_tx_.front());
+    pending_tx_.pop_front();
+    inject(std::move(tx));
+  }
+}
+
+void BaseTransport::deliver(BasePkt&& pkt) {
+  switch (pkt.kind) {
+    case BasePkt::Kind::Eager:
+      deliver_eager(pkt.src, pkt.tag, pkt.context, std::move(pkt.bytes));
+      break;
+    case BasePkt::Kind::Rts: {
+      BaseRequest* req = match_posted(pkt.src, pkt.tag, pkt.context);
+      if (req == nullptr) {
+        UnexMsg u;
+        u.rdv = true;
+        u.src = pkt.src;
+        u.tag = pkt.tag;
+        u.context = pkt.context;
+        u.len = pkt.total;
+        u.rts = std::move(pkt);
+        unexpected_.push_back(std::move(u));
+      } else {
+        grant_rdv(req, pkt);
+      }
+      break;
+    }
+    default:
+      handle_protocol(std::move(pkt));
+  }
+}
+
+std::optional<mpi::Status> BaseTransport::iprobe(int src, int tag, int context) {
+  enter_progress();
+  leave_progress();
+  for (const UnexMsg& m : unexpected_) {
+    if (m.context != context) continue;
+    if (src != mpi::ANY_SOURCE && src != m.src) continue;
+    if (tag != mpi::ANY_TAG && tag != m.tag) continue;
+    mpi::Status st;
+    st.source = m.src;
+    st.tag = m.tag;
+    st.count = m.len;
+    return st;
+  }
+  return std::nullopt;
+}
+
+void BaseTransport::enter_progress() {
+  ++depth_;
+  drain();
+  if (shm_) shm_->poll(local_index_);
+}
+
+void BaseTransport::leave_progress() {
+  NMX_ASSERT(depth_ > 0);
+  --depth_;
+}
+
+// ---------------------------------------------------------------------------
+// self and shared-memory paths
+// ---------------------------------------------------------------------------
+
+void BaseTransport::send_self(BaseRequest* req, const void* buf, std::size_t len) {
+  std::vector<std::byte> payload(len);
+  if (len > 0) std::memcpy(payload.data(), buf, len);
+  const int tag = req->tag;
+  const int ctx = req->context;
+  eng_->schedule_in(kSelfLatency, [this, tag, ctx, payload = std::move(payload)]() mutable {
+    deliver_eager(rank_, tag, ctx, std::move(payload));
+  });
+  complete_send(req);
+}
+
+void BaseTransport::send_shm(BaseRequest* req, const void* buf, std::size_t len) {
+  NMX_ASSERT_MSG(shm_ != nullptr, "same-node send without a shared-memory region");
+  BaseShmHdr hdr;
+  hdr.src_rank = rank_;
+  hdr.tag = req->tag;
+  hdr.context = req->context;
+  nemesis::Message m;
+  m.src_local = local_index_;
+  m.header = hdr;
+  m.payload.resize(len);
+  if (len > 0) std::memcpy(m.payload.data(), buf, len);
+  // dst local index
+  const net::Topology& topo = fabric_->topology();
+  const int node = topo.node_of(req->peer);
+  int local = 0;
+  for (int p = 0; p < req->peer; ++p) {
+    if (topo.node_of(p) == node) ++local;
+  }
+  shm_->send(local, std::move(m));
+  complete_send(req);  // copied into cells
+}
+
+void BaseTransport::handle_shm(nemesis::Message&& m) {
+  const BaseShmHdr hdr = std::any_cast<BaseShmHdr>(m.header);
+  if (shm_extra_ > 0) {
+    eng_->schedule_in(shm_extra_, [this, hdr, payload = std::move(m.payload)]() mutable {
+      deliver_eager(hdr.src_rank, hdr.tag, hdr.context, std::move(payload));
+    });
+  } else {
+    deliver_eager(hdr.src_rank, hdr.tag, hdr.context, std::move(m.payload));
+  }
+}
+
+}  // namespace nmx::baseline

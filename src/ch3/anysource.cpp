@@ -1,0 +1,68 @@
+#include "ch3/anysource.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nmx::ch3 {
+
+AnySourceLists::Key AnySourceLists::key_for(const MpidRequest* req) const {
+  return {req->context, req->tag};
+}
+
+bool AnySourceLists::blocks(int context, int tag) const {
+  if (sublists_.count({context, tag}) > 0) return true;
+  return sublists_.count({context, mpi::ANY_TAG}) > 0;
+}
+
+void AnySourceLists::add_any_source(MpidRequest* req) {
+  NMX_ASSERT(req->peer == mpi::ANY_SOURCE || req->tag == mpi::ANY_TAG);
+  sublists_[key_for(req)].push_back(Item{req, next_seq_++});
+}
+
+void AnySourceLists::defer(MpidRequest* req) {
+  NMX_ASSERT(req->peer != mpi::ANY_SOURCE && req->tag != mpi::ANY_TAG);
+  // Prefer the exact-tag sublist; fall back to the context wildcard.
+  auto it = sublists_.find({req->context, req->tag});
+  if (it == sublists_.end()) it = sublists_.find({req->context, mpi::ANY_TAG});
+  NMX_ASSERT_MSG(it != sublists_.end(), "defer() without a blocking sublist");
+  it->second.push_back(Item{req, next_seq_++});
+}
+
+std::vector<MpidRequest*> AnySourceLists::heads() const {
+  std::vector<std::pair<std::uint64_t, MpidRequest*>> hs;
+  for (const auto& [key, list] : sublists_) {
+    NMX_ASSERT(!list.empty());
+    NMX_ASSERT_MSG(list.front().req->peer == mpi::ANY_SOURCE ||
+                       list.front().req->tag == mpi::ANY_TAG,
+                   "sublist head must be a wildcard request");
+    hs.emplace_back(list.front().seq, list.front().req);
+  }
+  std::sort(hs.begin(), hs.end());
+  std::vector<MpidRequest*> out;
+  out.reserve(hs.size());
+  for (auto& [seq, req] : hs) out.push_back(req);
+  return out;
+}
+
+void AnySourceLists::resolve(MpidRequest* req, const ReleaseFn& release) {
+  auto it = sublists_.find(key_for(req));
+  NMX_ASSERT_MSG(it != sublists_.end(), "resolving a request with no sublist");
+  auto& list = it->second;
+  NMX_ASSERT_MSG(!list.empty() && list.front().req == req,
+                 "only the sublist head can be resolved");
+  list.pop_front();
+
+  // Release deferred exact receives until the next wildcard request,
+  // which becomes the new head.
+  std::vector<MpidRequest*> released;
+  while (!list.empty() && list.front().req->peer != mpi::ANY_SOURCE &&
+         list.front().req->tag != mpi::ANY_TAG) {
+    released.push_back(list.front().req);
+    list.pop_front();
+  }
+  if (list.empty()) sublists_.erase(it);
+  for (MpidRequest* r : released) release(r);
+}
+
+}  // namespace nmx::ch3

@@ -1,0 +1,76 @@
+// The any-source management lists of §3.2.2 / Figure 3.
+//
+// NewMadeleine cannot cancel a posted request, so an MPI_ANY_SOURCE receive
+// is never posted to it eagerly. Instead it is parked here, in a per-(context,
+// tag) sublist hanging off a main list. While a sublist's head is an active
+// any-source request:
+//   * later known-source receives on the same (context, tag) are *deferred*
+//     into the sublist ("in order to ensure message ordering, they are
+//     enqueued in the list of pending any sources"),
+//   * every progress pass probes NewMadeleine; when a matching message has
+//     arrived, a NewMadeleine request is created dynamically for it and the
+//     head is resolved,
+//   * an intra-node (shared-memory) match simply removes the head ("the
+//     entry ... is simply removed and all requests that might have been
+//     posted after are created").
+// Resolving a head releases the deferred requests behind it, up to the next
+// any-source request, which becomes the new head.
+//
+// ANY_TAG receives live in a per-context wildcard sublist that conservatively
+// blocks every tag of that context.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ch3/request.hpp"
+
+namespace nmx::ch3 {
+
+class AnySourceLists {
+ public:
+  /// Invoked for each deferred known-source request released by a resolve;
+  /// the owner re-checks blocking and posts to NewMadeleine.
+  using ReleaseFn = std::function<void(MpidRequest*)>;
+
+  /// True when a known-source receive on (context, tag) must be deferred
+  /// behind a pending any-source request.
+  bool blocks(int context, int tag) const;
+
+  /// Park a wildcard request: MPI_ANY_SOURCE, or a known source with
+  /// MPI_ANY_TAG (which NewMadeleine's exact matching cannot serve either —
+  /// the same dynamic-request machinery handles both).
+  void add_any_source(MpidRequest* req);
+
+  /// Defer a known-source receive blocked by blocks(). Must only be called
+  /// when blocks(context, tag) is true.
+  void defer(MpidRequest* req);
+
+  /// Active sublist heads (all any-source requests), oldest-posted first —
+  /// the set the progress engine probes NewMadeleine for.
+  std::vector<MpidRequest*> heads() const;
+
+  /// Remove head request `req` (matched via nmad bind or shared memory) and
+  /// release deferred followers until the next any-source request.
+  void resolve(MpidRequest* req, const ReleaseFn& release);
+
+  bool empty() const { return sublists_.empty(); }
+  std::size_t sublist_count() const { return sublists_.size(); }
+
+ private:
+  struct Item {
+    MpidRequest* req;
+    std::uint64_t seq;  ///< global post order
+  };
+  /// Key: (context, tag); tag == mpi::ANY_TAG is the wildcard sublist.
+  using Key = std::pair<int, int>;
+
+  Key key_for(const MpidRequest* req) const;
+  std::map<Key, std::deque<Item>> sublists_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nmx::ch3

@@ -1,0 +1,56 @@
+// CH3 packet headers and matching types.
+//
+// The CH3 device matches messages on (source, tag, context id). On the
+// NewMadeleine bypass path the (context, tag) pair is packed into one 64-bit
+// NewMadeleine tag so nmad's internal tag matching does the work (§3.1.1);
+// on the Nemesis shared-memory path the header below rides the first cell.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpi/transport.hpp"
+#include "nmad/types.hpp"
+
+namespace nmx::ch3 {
+
+/// Pack (context id, user tag) into a NewMadeleine tag. Context in the high
+/// 32 bits so a masked probe can select "any user tag in this context".
+constexpr nmad::Tag pack_tag(int context, int tag) {
+  return (static_cast<nmad::Tag>(static_cast<std::uint32_t>(context)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+constexpr int unpack_user_tag(nmad::Tag t) {
+  return static_cast<int>(static_cast<std::uint32_t>(t & 0xffffffffull));
+}
+constexpr int unpack_context(nmad::Tag t) {
+  return static_cast<int>(static_cast<std::uint32_t>(t >> 32));
+}
+
+/// Selector for an exact (context, tag) probe.
+constexpr nmad::TagSelector exact_selector(int context, int tag) {
+  return nmad::TagSelector{pack_tag(context, tag), ~nmad::Tag{0}};
+}
+/// Selector for "any user tag within this context" (MPI_ANY_TAG).
+constexpr nmad::TagSelector context_selector(int context) {
+  return nmad::TagSelector{pack_tag(context, 0), 0xffffffff00000000ull};
+}
+constexpr nmad::TagSelector selector_for(int context, int tag) {
+  return tag == mpi::ANY_TAG ? context_selector(context) : exact_selector(context, tag);
+}
+
+/// Header of a CH3 message on the Nemesis shared-memory channel. The
+/// rendezvous kinds implement the CH3 RTS/CTS/DATA protocol of Figure 2 —
+/// used here only intra-node, because the network path bypasses CH3
+/// protocols entirely (that bypass is the paper's point, §3.1.1).
+struct ShmHdr {
+  enum class Kind : std::uint8_t { Eager, Rts, Cts, Data };
+  Kind kind = Kind::Eager;
+  int src_rank = -1;
+  int tag = 0;
+  int context = 0;
+  std::uint64_t rdv_id = 0;
+  std::size_t len = 0;  ///< full payload size (Rts announces it)
+};
+
+}  // namespace nmx::ch3

@@ -1,0 +1,697 @@
+#include "ch3/process.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace nmx::ch3 {
+
+namespace {
+// Reserved context ids for the legacy netmod channel (never visible to MPI).
+constexpr int kLegacyCtlContext = 0x7ffffff0;
+constexpr int kLegacyDataContext = 0x7ffffff1;
+// Loopback (self) delivery latency: a queue push and pop in one process.
+constexpr Time kSelfLatency = 0.1_us;
+
+std::vector<std::byte> serialize_ctl(const ShmHdr& hdr, const void* payload, std::size_t len) {
+  std::vector<std::byte> buf(sizeof(ShmHdr) + len);
+  std::memcpy(buf.data(), &hdr, sizeof(ShmHdr));
+  if (len > 0) std::memcpy(buf.data() + sizeof(ShmHdr), payload, len);
+  return buf;
+}
+}  // namespace
+
+Ch3Process::Ch3Process(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router,
+                       nemesis::ShmNode* shm, int rank, int local_index, Config cfg)
+    : eng_(eng), fabric_(fabric), shm_(shm), rank_(rank), local_index_(local_index), cfg_(cfg) {
+  cfg_.nmad.pioman_sync = cfg_.pioman;
+  // §4.1.1: the CH3/netmod glue adds ~300 ns on top of NewMadeleine's own
+  // generic-layer cost (1.8µs -> 2.1µs one-way).
+  cfg_.nmad.sw_send += calib::kCh3SwSend;
+  cfg_.nmad.sw_recv += calib::kCh3SwRecv;
+  core_ = std::make_unique<nmad::Core>(eng, fabric, router, rank, cfg_.nmad);
+  core_->set_on_complete([this](nmad::Request& r) { run_nmad_completion(r); });
+  core_->set_on_unexpected([this](const nmad::ProbeInfo& info) {
+    if (cfg_.bypass) {
+      as_probe_all();
+    } else {
+      legacy_on_unexpected(info);
+    }
+  });
+
+  // §3.1.2: virtual connections with per-destination overridable send paths.
+  const net::Topology& topo = fabric.topology();
+  vcs_.resize(static_cast<std::size_t>(topo.num_procs()));
+  for (int p = 0; p < topo.num_procs(); ++p) {
+    VirtualConnection& vc = vcs_[static_cast<std::size_t>(p)];
+    vc.peer = p;
+    vc.same_node = topo.same_node(rank_, p);
+    if (p == rank_) {
+      vc.isend_fn = [this](MpidRequest* r, const void* b, std::size_t l) { send_self(r, b, l); };
+    } else if (vc.same_node) {
+      vc.isend_fn = [this](MpidRequest* r, const void* b, std::size_t l) { send_shm(r, b, l); };
+    } else if (cfg_.bypass) {
+      // The paper's modification: MPID_Send on a remote VC goes straight to
+      // nm_sr_isend, skipping Nemesis and the CH3 protocols.
+      vc.isend_fn = [this](MpidRequest* r, const void* b, std::size_t l) {
+        send_nmad_direct(r, b, l);
+      };
+    } else {
+      vc.isend_fn = [this](MpidRequest* r, const void* b, std::size_t l) { send_legacy(r, b, l); };
+    }
+  }
+
+  if (shm_) {
+    shm_->set_deliver(local_index_,
+                      [this](nemesis::Message&& m) { handle_shm_message(std::move(m)); });
+    shm_->set_activity_hook(local_index_, [this] {
+      if (in_progress()) {
+        shm_->poll(local_index_);
+      } else if (pioman_) {
+        pioman_->notify();
+      }
+      // else: cells wait for the next MPI call — no progress without PIOMan.
+    });
+  }
+
+  if (cfg_.pioman) {
+    // §3.3.1: one polling authority for both intra- and inter-node traffic.
+    pioman_ = std::make_unique<pioman::Manager>(eng_);
+    pioman_->submit("nmad-progress", [this] {
+      core_->service();
+      if (cfg_.bypass) as_probe_all();
+      return core_->has_gated_work();
+    });
+    if (shm_) {
+      // §3.3.2: the shared-memory mailbox counter PIOMan watches.
+      pioman_->submit("shm-mailbox", [this, last = std::uint64_t(0)]() mutable {
+        const std::uint64_t mb = shm_->mailbox(local_index_);
+        if (mb != last) {
+          last = mb;
+          shm_->poll(local_index_);
+        }
+        return false;
+      });
+    }
+    core_->set_async_notifier([this] { pioman_->notify(); });
+  }
+}
+
+Ch3Process::~Ch3Process() = default;
+
+int Ch3Process::local_of(int rank) const {
+  const net::Topology& topo = fabric_.topology();
+  const int node = topo.node_of(rank);
+  int local = 0;
+  for (int p = 0; p < rank; ++p) {
+    if (topo.node_of(p) == node) ++local;
+  }
+  return local;
+}
+
+// ---------------------------------------------------------------------------
+// pools and nmad plumbing
+// ---------------------------------------------------------------------------
+
+MpidRequest* Ch3Process::new_request(MpidRequest::Kind kind) {
+  requests_.emplace_back();
+  auto it = std::prev(requests_.end());
+  it->self = it;
+  it->kind = kind;
+  return &*it;
+}
+
+Ch3Process::NmCtx* Ch3Process::new_ctx(std::function<void(nmad::Request&)> fn) {
+  nm_ctxs_.emplace_back();
+  auto it = std::prev(nm_ctxs_.end());
+  it->self = it;
+  it->fn = std::move(fn);
+  return &*it;
+}
+
+void Ch3Process::run_nmad_completion(nmad::Request& r) {
+  auto* ctx = static_cast<NmCtx*>(r.user_ctx);
+  NMX_ASSERT_MSG(ctx != nullptr, "nmad request without completion context");
+  auto fn = std::move(ctx->fn);
+  nm_ctxs_.erase(ctx->self);
+  fn(r);
+}
+
+nmad::Request* Ch3Process::nm_isend(int dst, nmad::Tag tag, const void* buf, std::size_t len,
+                                    std::function<void(nmad::Request&)> done) {
+  return core_->isend(dst, tag, buf, len, new_ctx(std::move(done)));
+}
+
+nmad::Request* Ch3Process::nm_irecv(int src, nmad::Tag tag, void* buf, std::size_t len,
+                                    std::function<void(nmad::Request&)> done) {
+  return core_->irecv(src, tag, buf, len, new_ctx(std::move(done)));
+}
+
+// ---------------------------------------------------------------------------
+// completion helpers
+// ---------------------------------------------------------------------------
+
+void Ch3Process::finish(MpidRequest* req) {
+  if (req->via_any_source) {
+    // §4.1.1: the any-source management adds a constant ~300 ns.
+    eng_.schedule_in(calib::kAnySourceOverhead, [req] { req->complete_and_wake(); });
+  } else {
+    req->complete_and_wake();
+  }
+}
+
+void Ch3Process::complete_recv(MpidRequest* req, int src, int tag, std::size_t count) {
+  req->status.source = src;
+  req->status.tag = tag;
+  req->status.count = count;
+  finish(req);
+}
+
+void Ch3Process::complete_send(MpidRequest* req) {
+  req->status.count = req->len;
+  finish(req);
+}
+
+// ---------------------------------------------------------------------------
+// CH3 queue pair
+// ---------------------------------------------------------------------------
+
+MpidRequest* Ch3Process::match_posted(int src, int tag, int context) {
+  for (MpidRequest* r : posted_queue_) {
+    if (r->context != context) continue;
+    if (r->peer != mpi::ANY_SOURCE && r->peer != src) continue;
+    if (r->tag != mpi::ANY_TAG && r->tag != tag) continue;
+    return r;
+  }
+  return nullptr;
+}
+
+void Ch3Process::push_posted(MpidRequest* req) {
+  posted_queue_.push_back(req);
+  req->posted_it = std::prev(posted_queue_.end());
+  req->in_posted_queue = true;
+}
+
+void Ch3Process::remove_posted(MpidRequest* req) {
+  if (!req->in_posted_queue) return;
+  posted_queue_.erase(req->posted_it);
+  req->in_posted_queue = false;
+}
+
+bool Ch3Process::match_unexpected(MpidRequest* req) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->context != req->context) continue;
+    if (req->peer != mpi::ANY_SOURCE && req->peer != it->src) continue;
+    if (req->tag != mpi::ANY_TAG && req->tag != it->tag) continue;
+    UnexMsg msg = std::move(*it);
+    unexpected_.erase(it);
+    if (msg.kind == UnexMsg::Kind::Eager) {
+      NMX_ASSERT_MSG(msg.payload.size() <= req->len, "message overflows receive buffer");
+      if (!msg.payload.empty()) {
+        std::memcpy(req->rbuf, msg.payload.data(), msg.payload.size());
+      }
+      complete_recv(req, msg.src, msg.tag, msg.payload.size());
+    } else if (msg.origin == UnexMsg::Origin::Shm) {
+      NMX_ASSERT(msg.len <= req->len);
+      shm_rdv_in_.emplace(std::make_pair(msg.src, msg.rdv_id), req);
+      ShmHdr cts;
+      cts.kind = ShmHdr::Kind::Cts;
+      cts.src_rank = rank_;
+      cts.tag = msg.tag;
+      cts.context = msg.context;
+      cts.rdv_id = msg.rdv_id;
+      nemesis::Message m;
+      m.src_local = local_index_;
+      m.header = cts;
+      shm_->send(local_of(msg.src), std::move(m));
+    } else {
+      NMX_ASSERT(msg.origin == UnexMsg::Origin::LegacyNet);
+      legacy_grant(msg.src, msg.tag, msg.rdv_id, req);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Ch3Process::deliver_local(UnexMsg msg) {
+  MpidRequest* req = match_posted(msg.src, msg.tag, msg.context);
+  if (req == nullptr) {
+    unexpected_.push_back(std::move(msg));
+    return;
+  }
+  remove_posted(req);
+  if (req->peer == mpi::ANY_SOURCE && cfg_.bypass && !as_lists_.empty()) {
+    // §3.2.2: an intra-node match removes the any-source entry and releases
+    // the requests queued behind it.
+    as_lists_.resolve(req, [this](MpidRequest* r) { release_deferred(r); });
+  }
+  if (msg.kind == UnexMsg::Kind::Eager) {
+    NMX_ASSERT_MSG(msg.payload.size() <= req->len, "message overflows receive buffer");
+    if (!msg.payload.empty()) std::memcpy(req->rbuf, msg.payload.data(), msg.payload.size());
+    complete_recv(req, msg.src, msg.tag, msg.payload.size());
+  } else if (msg.origin == UnexMsg::Origin::Shm) {
+    NMX_ASSERT(msg.len <= req->len);
+    shm_rdv_in_.emplace(std::make_pair(msg.src, msg.rdv_id), req);
+    ShmHdr cts;
+    cts.kind = ShmHdr::Kind::Cts;
+    cts.src_rank = rank_;
+    cts.tag = msg.tag;
+    cts.context = msg.context;
+    cts.rdv_id = msg.rdv_id;
+    nemesis::Message m;
+    m.src_local = local_index_;
+    m.header = cts;
+    shm_->send(local_of(msg.src), std::move(m));
+  } else {
+    legacy_grant(msg.src, msg.tag, msg.rdv_id, req);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport: isend / irecv
+// ---------------------------------------------------------------------------
+
+mpi::TxRequest* Ch3Process::isend(int dst, int tag, int context, const void* buf,
+                                  std::size_t len) {
+  NMX_ASSERT(dst >= 0 && dst < static_cast<int>(vcs_.size()));
+  NMX_ASSERT(tag >= 0 && context >= 0 && context < kLegacyCtlContext);
+  MpidRequest* req = new_request(MpidRequest::Kind::Send);
+  req->peer = dst;
+  req->tag = tag;
+  req->context = context;
+  req->len = len;
+  vcs_[static_cast<std::size_t>(dst)].isend_fn(req, buf, len);
+  return req;
+}
+
+mpi::TxRequest* Ch3Process::irecv(int src, int tag, int context, void* buf, std::size_t len) {
+  MpidRequest* req = new_request(MpidRequest::Kind::Recv);
+  req->peer = src;
+  req->tag = tag;
+  req->context = context;
+  req->rbuf = static_cast<std::byte*>(buf);
+  req->len = len;
+
+  if (src == mpi::ANY_SOURCE) {
+    if (match_unexpected(req)) return req;
+    push_posted(req);  // eligible for shared-memory / self matching
+    if (cfg_.bypass) {
+      as_lists_.add_any_source(req);
+      as_probe_all();  // the message may already sit in nmad's buffers
+    }
+    return req;
+  }
+
+  const bool ch3_matched =
+      (src == rank_) || vcs_[static_cast<std::size_t>(src)].same_node || !cfg_.bypass;
+  if (ch3_matched) {
+    if (match_unexpected(req)) return req;
+    push_posted(req);
+    return req;
+  }
+
+  if (tag == mpi::ANY_TAG) {
+    // Known remote source but wildcard tag: NewMadeleine's exact matching
+    // cannot serve it — park it in the wildcard lists like an any-source
+    // request and create the NewMadeleine request once a message is known
+    // to be there.
+    if (match_unexpected(req)) return req;
+    as_lists_.add_any_source(req);
+    as_probe_all();
+    return req;
+  }
+
+  // Known remote source on the bypass path: NewMadeleine does the matching —
+  // unless an earlier wildcard request forces ordering (§3.2.2).
+  if (as_lists_.blocks(context, tag)) {
+    as_lists_.defer(req);
+    return req;
+  }
+  post_remote_recv(req);
+  return req;
+}
+
+void Ch3Process::post_remote_recv(MpidRequest* req) {
+  req->nmad_req = nm_irecv(req->peer, pack_tag(req->context, req->tag), req->rbuf, req->len,
+                           [this, req](nmad::Request& nr) {
+                             complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+                           });
+}
+
+void Ch3Process::release_deferred(MpidRequest* req) {
+  if (as_lists_.blocks(req->context, req->tag)) {
+    as_lists_.defer(req);  // still blocked (e.g. a wildcard-tag any-source)
+    return;
+  }
+  post_remote_recv(req);
+}
+
+void Ch3Process::as_probe_all() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (MpidRequest* head : as_lists_.heads()) {
+      const std::optional<int> src_filter =
+          head->peer == mpi::ANY_SOURCE ? std::nullopt : std::optional<int>(head->peer);
+      auto found = core_->probe(src_filter, selector_for(head->context, head->tag));
+      if (found) {
+        bind_any_source(head, *found);
+        progressed = true;
+        break;  // heads changed — restart the scan
+      }
+    }
+  }
+}
+
+void Ch3Process::bind_any_source(MpidRequest* req, const nmad::ProbeInfo& found) {
+  // The message sits in NewMadeleine's buffers: create the NewMadeleine
+  // request dynamically; "it will be completed shortly after its creation".
+  remove_posted(req);  // no longer eligible for shared-memory matching
+  req->via_any_source = true;
+  req->nmad_req = nm_irecv(found.src, found.tag, req->rbuf, req->len,
+                           [this, req](nmad::Request& nr) {
+                             complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+                           });
+  // Now remove the entry and release the deferred requests behind it. Done
+  // after binding so none of them can steal the probed message.
+  as_lists_.resolve(req, [this](MpidRequest* r) { release_deferred(r); });
+}
+
+void Ch3Process::release(mpi::TxRequest* r) {
+  auto* req = static_cast<MpidRequest*>(r);
+  NMX_ASSERT_MSG(req->completed, "releasing an incomplete request");
+  if (req->nmad_req != nullptr) {
+    NMX_ASSERT(req->nmad_req->completed);
+    core_->release(req->nmad_req);
+  }
+  requests_.erase(req->self);
+}
+
+// ---------------------------------------------------------------------------
+// send paths
+// ---------------------------------------------------------------------------
+
+void Ch3Process::send_self(MpidRequest* req, const void* buf, std::size_t len) {
+  UnexMsg msg;
+  msg.origin = UnexMsg::Origin::Self;
+  msg.kind = UnexMsg::Kind::Eager;
+  msg.src = rank_;
+  msg.tag = req->tag;
+  msg.context = req->context;
+  msg.len = len;
+  msg.payload.resize(len);
+  if (len > 0) std::memcpy(msg.payload.data(), buf, len);
+  eng_.schedule_in(kSelfLatency, [this, msg = std::move(msg)]() mutable {
+    deliver_local(std::move(msg));
+  });
+  complete_send(req);  // buffered
+}
+
+void Ch3Process::send_shm(MpidRequest* req, const void* buf, std::size_t len) {
+  NMX_ASSERT_MSG(shm_ != nullptr, "same-node send without a shared-memory region");
+  ShmHdr hdr;
+  hdr.src_rank = rank_;
+  hdr.tag = req->tag;
+  hdr.context = req->context;
+  hdr.len = len;
+  if (len <= cfg_.shm_rdv_threshold) {
+    hdr.kind = ShmHdr::Kind::Eager;
+    nemesis::Message m;
+    m.src_local = local_index_;
+    m.header = hdr;
+    m.payload.resize(len);
+    if (len > 0) std::memcpy(m.payload.data(), buf, len);
+    shm_->send(local_of(req->peer), std::move(m));
+    complete_send(req);  // copied into cells — buffer reusable
+  } else {
+    // CH3 shared-memory rendezvous (the left half of Figure 2).
+    hdr.kind = ShmHdr::Kind::Rts;
+    hdr.rdv_id = next_shm_rdv_++;
+    ShmRdvOut out;
+    out.req = req;
+    out.dst = req->peer;
+    out.payload.resize(len);
+    std::memcpy(out.payload.data(), buf, len);
+    shm_rdv_out_.emplace(hdr.rdv_id, std::move(out));
+    nemesis::Message m;
+    m.src_local = local_index_;
+    m.header = hdr;
+    shm_->send(local_of(req->peer), std::move(m));
+  }
+}
+
+void Ch3Process::send_nmad_direct(MpidRequest* req, const void* buf, std::size_t len) {
+  req->nmad_req = nm_isend(req->peer, pack_tag(req->context, req->tag), buf, len,
+                           [this, req](nmad::Request&) { complete_send(req); });
+}
+
+// ---------------------------------------------------------------------------
+// shared-memory channel
+// ---------------------------------------------------------------------------
+
+void Ch3Process::handle_shm_message(nemesis::Message&& m) {
+  ShmHdr hdr = std::any_cast<ShmHdr>(m.header);
+  if (cfg_.pioman) {
+    // §4.1.2: the thread-safe progression machinery costs ~450 ns per
+    // shared-memory message.
+    eng_.schedule_in(calib::kPiomanShmOverhead,
+                     [this, hdr, payload = std::move(m.payload), src = m.src_local]() mutable {
+                       process_shm(hdr, std::move(payload), src);
+                     });
+  } else {
+    process_shm(hdr, std::move(m.payload), m.src_local);
+  }
+}
+
+void Ch3Process::process_shm(ShmHdr hdr, std::vector<std::byte> payload, int /*src_local*/) {
+  switch (hdr.kind) {
+    case ShmHdr::Kind::Eager: {
+      UnexMsg msg;
+      msg.origin = UnexMsg::Origin::Shm;
+      msg.kind = UnexMsg::Kind::Eager;
+      msg.src = hdr.src_rank;
+      msg.tag = hdr.tag;
+      msg.context = hdr.context;
+      msg.len = payload.size();
+      msg.payload = std::move(payload);
+      deliver_local(std::move(msg));
+      break;
+    }
+    case ShmHdr::Kind::Rts: {
+      UnexMsg msg;
+      msg.origin = UnexMsg::Origin::Shm;
+      msg.kind = UnexMsg::Kind::Rdv;
+      msg.src = hdr.src_rank;
+      msg.tag = hdr.tag;
+      msg.context = hdr.context;
+      msg.rdv_id = hdr.rdv_id;
+      msg.len = hdr.len;
+      deliver_local(std::move(msg));
+      break;
+    }
+    case ShmHdr::Kind::Cts: {
+      auto it = shm_rdv_out_.find(hdr.rdv_id);
+      NMX_ASSERT_MSG(it != shm_rdv_out_.end(), "shm CTS for unknown rendezvous");
+      ShmRdvOut out = std::move(it->second);
+      shm_rdv_out_.erase(it);
+      ShmHdr data;
+      data.kind = ShmHdr::Kind::Data;
+      data.src_rank = rank_;
+      data.tag = out.req->tag;
+      data.context = out.req->context;
+      data.rdv_id = hdr.rdv_id;
+      data.len = out.payload.size();
+      nemesis::Message m;
+      m.src_local = local_index_;
+      m.header = data;
+      m.payload = std::move(out.payload);
+      shm_->send(local_of(out.dst), std::move(m));
+      complete_send(out.req);
+      break;
+    }
+    case ShmHdr::Kind::Data: {
+      auto it = shm_rdv_in_.find({hdr.src_rank, hdr.rdv_id});
+      NMX_ASSERT_MSG(it != shm_rdv_in_.end(), "shm DATA without matching grant");
+      MpidRequest* req = it->second;
+      shm_rdv_in_.erase(it);
+      NMX_ASSERT(payload.size() <= req->len);
+      if (!payload.empty()) std::memcpy(req->rbuf, payload.data(), payload.size());
+      complete_recv(req, hdr.src_rank, hdr.tag, payload.size());
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// legacy netmod path (bypass = false): CH3 protocols over NewMadeleine used
+// as a dumb channel — copies through fixed cells, nested rendezvous.
+// ---------------------------------------------------------------------------
+
+void Ch3Process::send_legacy(MpidRequest* req, const void* buf, std::size_t len) {
+  ShmHdr hdr;
+  hdr.src_rank = rank_;
+  hdr.tag = req->tag;
+  hdr.context = req->context;
+  hdr.len = len;
+  if (len <= cfg_.legacy_cell_payload) {
+    hdr.kind = ShmHdr::Kind::Eager;
+    auto cell = serialize_ctl(hdr, buf, len);
+    nm_isend(req->peer, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
+             [this, req](nmad::Request& nr) {
+               complete_send(req);
+               eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+             });
+  } else {
+    // CH3 network rendezvous — whose DATA message will trigger
+    // NewMadeleine's own internal rendezvous: the nested handshake of Fig 2.
+    hdr.kind = ShmHdr::Kind::Rts;
+    hdr.rdv_id = next_net_rdv_++;
+    net_rdv_out_.emplace(hdr.rdv_id, std::make_pair(req, buf));
+    auto cell = serialize_ctl(hdr, nullptr, 0);
+    nm_isend(req->peer, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
+             [this](nmad::Request& nr) {
+               eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+             });
+  }
+}
+
+void Ch3Process::legacy_on_unexpected(const nmad::ProbeInfo& info) {
+  if (unpack_context(info.tag) == kLegacyCtlContext) legacy_fetch_ctl(info);
+  // Data-context messages are never unexpected: the receive is posted
+  // before the CH3 CTS that triggers them.
+}
+
+void Ch3Process::legacy_fetch_ctl(const nmad::ProbeInfo& info) {
+  // Dequeue the cell: receive it into a bounce buffer, then parse. The
+  // extra copy is the §2.1.3 "unnecessary copies in and from the queue
+  // cells" penalty of the non-bypassed design.
+  auto cell = std::make_shared<std::vector<std::byte>>(sizeof(ShmHdr) + cfg_.legacy_cell_payload);
+  const int src = info.src;
+  nm_irecv(src, info.tag, cell->data(), cell->size(),
+           [this, cell, src](nmad::Request& nr) {
+             const std::size_t got = nr.received;
+             eng_.schedule_in(calib::copy_cost(got), [this, cell, src, got] {
+               legacy_process_ctl(src, std::move(*cell), got);
+             });
+             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+           });
+}
+
+void Ch3Process::legacy_process_ctl(int src, std::vector<std::byte> cell, std::size_t len) {
+  NMX_ASSERT(len >= sizeof(ShmHdr));
+  ShmHdr hdr;
+  std::memcpy(&hdr, cell.data(), sizeof(ShmHdr));
+  const std::size_t payload_len = len - sizeof(ShmHdr);
+  switch (hdr.kind) {
+    case ShmHdr::Kind::Eager: {
+      UnexMsg msg;
+      msg.origin = UnexMsg::Origin::LegacyNet;
+      msg.kind = UnexMsg::Kind::Eager;
+      msg.src = hdr.src_rank;
+      msg.tag = hdr.tag;
+      msg.context = hdr.context;
+      msg.len = payload_len;
+      msg.payload.assign(cell.begin() + sizeof(ShmHdr),
+                         cell.begin() + static_cast<std::ptrdiff_t>(len));
+      deliver_local(std::move(msg));
+      break;
+    }
+    case ShmHdr::Kind::Rts: {
+      UnexMsg msg;
+      msg.origin = UnexMsg::Origin::LegacyNet;
+      msg.kind = UnexMsg::Kind::Rdv;
+      msg.src = hdr.src_rank;
+      msg.tag = hdr.tag;
+      msg.context = hdr.context;
+      msg.rdv_id = hdr.rdv_id;
+      msg.len = hdr.len;
+      deliver_local(std::move(msg));
+      break;
+    }
+    case ShmHdr::Kind::Cts: {
+      auto it = net_rdv_out_.find(hdr.rdv_id);
+      NMX_ASSERT_MSG(it != net_rdv_out_.end(), "legacy CTS for unknown rendezvous");
+      auto [req, buf] = it->second;
+      net_rdv_out_.erase(it);
+      nm_isend(src, pack_tag(kLegacyDataContext, static_cast<int>(hdr.rdv_id & 0x7fffffff)),
+               buf, req->len,
+               [this, req](nmad::Request&) { complete_send(req); });
+      break;
+    }
+    case ShmHdr::Kind::Data:
+      NMX_FAIL("legacy DATA must not arrive on the control channel");
+  }
+}
+
+void Ch3Process::legacy_grant(int src, int tag, std::uint64_t rdv_id, MpidRequest* req) {
+  // Post the data receive *before* granting, so the DATA message (and the
+  // internal NewMadeleine rendezvous underneath it) finds it posted.
+  nm_irecv(src, pack_tag(kLegacyDataContext, static_cast<int>(rdv_id & 0x7fffffff)), req->rbuf,
+           req->len, [this, req, src, tag](nmad::Request& nr) {
+             complete_recv(req, src, tag, nr.received);
+             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+           });
+  ShmHdr cts;
+  cts.kind = ShmHdr::Kind::Cts;
+  cts.src_rank = rank_;
+  cts.rdv_id = rdv_id;
+  legacy_send_ctl(src, cts, nullptr, 0);
+}
+
+void Ch3Process::legacy_send_ctl(int dst, ShmHdr hdr, const void* payload, std::size_t len) {
+  auto cell = serialize_ctl(hdr, payload, len);
+  nm_isend(dst, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
+           [this](nmad::Request& nr) {
+             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+           });
+}
+
+// ---------------------------------------------------------------------------
+// progress
+// ---------------------------------------------------------------------------
+
+std::optional<mpi::Status> Ch3Process::iprobe(int src, int tag, int context) {
+  enter_progress();
+  leave_progress();
+  // CH3-matched traffic (shared memory, self, legacy network).
+  for (const UnexMsg& m : unexpected_) {
+    if (m.context != context) continue;
+    if (src != mpi::ANY_SOURCE && src != m.src) continue;
+    if (tag != mpi::ANY_TAG && tag != m.tag) continue;
+    mpi::Status st;
+    st.source = m.src;
+    st.tag = m.tag;
+    st.count = m.len;
+    return st;
+  }
+  // NewMadeleine's buffers (bypass path).
+  if (cfg_.bypass) {
+    const std::optional<int> src_filter =
+        src == mpi::ANY_SOURCE ? std::nullopt : std::optional<int>(src);
+    if (auto found = core_->probe(src_filter, selector_for(context, tag))) {
+      mpi::Status st;
+      st.source = found->src;
+      st.tag = unpack_user_tag(found->tag);
+      st.count = found->len;
+      return st;
+    }
+  }
+  return std::nullopt;
+}
+
+void Ch3Process::enter_progress() {
+  ++depth_;
+  if (depth_ == 1) {
+    core_->enter_progress();
+  } else {
+    core_->progress();
+  }
+  if (shm_) shm_->poll(local_index_);
+  if (cfg_.bypass) as_probe_all();
+}
+
+void Ch3Process::leave_progress() {
+  NMX_ASSERT(depth_ > 0);
+  if (--depth_ == 0) core_->leave_progress();
+}
+
+}  // namespace nmx::ch3

@@ -1,0 +1,190 @@
+// The MPICH2-NewMadeleine device: CH3/ADI3 glued to Nemesis (intra-node) and
+// NewMadeleine (inter-node), with PIOMan as the centralized progression
+// authority (§3).
+//
+// Two operating modes:
+//
+//  * bypass = true  — the paper's contribution (§3.1): per-VC function
+//    pointers route remote sends straight to nm_sr_isend, remote receives are
+//    posted to NewMadeleine's own matching, and MPI_ANY_SOURCE is handled by
+//    the management lists of Figure 3. One handshake per rendezvous.
+//
+//  * bypass = false — the stock Nemesis network-module path (§2.1.3): every
+//    CH3 packet is copied through fixed-size netmod cells, CH3 runs its own
+//    eager/rendezvous protocol, and large DATA transfers trigger
+//    NewMadeleine's *internal* rendezvous underneath CH3's — the nested
+//    handshake of Figure 2. Kept as a first-class mode so the benefit of the
+//    bypass is measurable (bench/abl_bypass).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "ch3/anysource.hpp"
+#include "ch3/packet.hpp"
+#include "ch3/request.hpp"
+#include "mpi/transport.hpp"
+#include "nemesis/shm.hpp"
+#include "net/fabric.hpp"
+#include "net/router.hpp"
+#include "nmad/core.hpp"
+#include "pioman/pioman.hpp"
+#include "sim/engine.hpp"
+
+namespace nmx::ch3 {
+
+class Ch3Process final : public mpi::Transport {
+ public:
+  struct Config {
+    nmad::Core::ExtendedConfig nmad;
+    /// Enable PIOMan: background progression + its synchronization costs.
+    bool pioman = false;
+    /// CH3 -> NewMadeleine direct path (the paper's modification).
+    bool bypass = true;
+    /// Intra-node CH3 eager/rendezvous switch (Nemesis LMT).
+    std::size_t shm_rdv_threshold = 64_KiB;
+    /// Legacy mode: netmod cell payload and the CH3 eager/rdv switch for the
+    /// network path (single-cell eager keeps the cells fixed-size).
+    std::size_t legacy_cell_payload = 32000;
+  };
+
+  /// `shm` may be null when the process is alone on its node.
+  Ch3Process(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router,
+             nemesis::ShmNode* shm, int rank, int local_index, Config cfg);
+  ~Ch3Process() override;
+
+  // --- mpi::Transport -----------------------------------------------------
+  int rank() const override { return rank_; }
+  mpi::TxRequest* isend(int dst, int tag, int context, const void* buf,
+                        std::size_t len) override;
+  mpi::TxRequest* irecv(int src, int tag, int context, void* buf, std::size_t len) override;
+  void release(mpi::TxRequest* r) override;
+  void enter_progress() override;
+  void leave_progress() override;
+  /// The bypass path gathers datatype segments in NewMadeleine's packet
+  /// wrapper (§5 future work); the legacy path packs like everyone else.
+  bool native_datatypes() const override { return cfg_.bypass; }
+  std::optional<mpi::Status> iprobe(int src, int tag, int context) override;
+
+  // --- introspection ------------------------------------------------------
+  nmad::Core& core() { return *core_; }
+  pioman::Manager* pioman() { return pioman_.get(); }
+  const AnySourceLists& any_source_lists() const { return as_lists_; }
+  std::size_t outstanding_requests() const { return requests_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+
+ private:
+  // §3.1.2: per-connection virtual connection with overridable send path.
+  struct VirtualConnection {
+    int peer = -1;
+    bool same_node = false;
+    std::function<void(MpidRequest*, const void*, std::size_t)> isend_fn;
+  };
+
+  struct UnexMsg {
+    enum class Origin { Shm, Self, LegacyNet };
+    enum class Kind { Eager, Rdv };
+    Origin origin = Origin::Shm;
+    Kind kind = Kind::Eager;
+    int src = -1;
+    int tag = 0;
+    int context = 0;
+    std::uint64_t rdv_id = 0;  ///< shm or legacy CH3 rendezvous id
+    std::size_t len = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct ShmRdvOut {
+    MpidRequest* req;
+    std::vector<std::byte> payload;
+    int dst;
+  };
+
+  /// Completion context attached to every NewMadeleine request we create.
+  struct NmCtx {
+    std::function<void(nmad::Request&)> fn;
+    std::list<NmCtx>::iterator self;
+  };
+
+  // request / ctx pools
+  MpidRequest* new_request(MpidRequest::Kind kind);
+  NmCtx* new_ctx(std::function<void(nmad::Request&)> fn);
+  void run_nmad_completion(nmad::Request& r);
+  nmad::Request* nm_isend(int dst, nmad::Tag tag, const void* buf, std::size_t len,
+                          std::function<void(nmad::Request&)> done);
+  nmad::Request* nm_irecv(int src, nmad::Tag tag, void* buf, std::size_t len,
+                          std::function<void(nmad::Request&)> done);
+
+  // send paths
+  void send_self(MpidRequest* req, const void* buf, std::size_t len);
+  void send_shm(MpidRequest* req, const void* buf, std::size_t len);
+  void send_nmad_direct(MpidRequest* req, const void* buf, std::size_t len);
+  void send_legacy(MpidRequest* req, const void* buf, std::size_t len);
+
+  // receive paths
+  void post_remote_recv(MpidRequest* req);      // bypass: bind to nmad
+  void bind_any_source(MpidRequest* req, const nmad::ProbeInfo& found);
+  void release_deferred(MpidRequest* req);      // re-check blocking, then post
+  void as_probe_all();                          // probe nmad for AS heads
+
+  // CH3 queues (shared-memory / self / legacy-net matching)
+  MpidRequest* match_posted(int src, int tag, int context);
+  void push_posted(MpidRequest* req);
+  void remove_posted(MpidRequest* req);
+  bool match_unexpected(MpidRequest* req);  // consume an unexpected msg if any
+  void deliver_local(UnexMsg msg);          // arrival -> match or store
+
+  // shared-memory channel
+  void handle_shm_message(nemesis::Message&& m);
+  void process_shm(ShmHdr hdr, std::vector<std::byte> payload, int src_local);
+
+  // legacy netmod (bypass = false)
+  void legacy_on_unexpected(const nmad::ProbeInfo& info);
+  void legacy_fetch_ctl(const nmad::ProbeInfo& info);
+  void legacy_process_ctl(int src, std::vector<std::byte> cell, std::size_t len);
+  void legacy_send_ctl(int dst, ShmHdr hdr, const void* payload, std::size_t len);
+  void legacy_grant(int src, int tag, std::uint64_t rdv_id, MpidRequest* req);
+
+  // completion helpers
+  void complete_recv(MpidRequest* req, int src, int tag, std::size_t count);
+  void complete_send(MpidRequest* req);
+  void finish(MpidRequest* req);  // complete_and_wake with any-source penalty
+
+  bool in_progress() const { return depth_ > 0; }
+  int local_of(int rank) const;
+
+  sim::Engine& eng_;
+  net::Fabric& fabric_;
+  nemesis::ShmNode* shm_;
+  int rank_;
+  int local_index_;
+  Config cfg_;
+  std::unique_ptr<nmad::Core> core_;
+  std::unique_ptr<pioman::Manager> pioman_;
+  std::vector<VirtualConnection> vcs_;
+
+  std::list<MpidRequest> requests_;
+  std::list<NmCtx> nm_ctxs_;
+
+  // ADI3 queue pair (§3.1.1) for traffic CH3 itself matches.
+  std::list<MpidRequest*> posted_queue_;
+  std::list<UnexMsg> unexpected_;
+
+  AnySourceLists as_lists_;
+
+  // shared-memory CH3 rendezvous state
+  std::uint64_t next_shm_rdv_ = 1;
+  std::map<std::uint64_t, ShmRdvOut> shm_rdv_out_;
+  std::map<std::pair<int, std::uint64_t>, MpidRequest*> shm_rdv_in_;
+
+  // legacy CH3 network rendezvous state
+  std::uint64_t next_net_rdv_ = 1;
+  std::map<std::uint64_t, std::pair<MpidRequest*, const void*>> net_rdv_out_;
+
+  int depth_ = 0;
+};
+
+}  // namespace nmx::ch3

@@ -1,0 +1,14 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace nmx {
+
+void assertion_failure(const char* expr, const char* file, int line, const std::string& detail) {
+  std::ostringstream os;
+  os << "NMX_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!detail.empty()) os << " — " << detail;
+  throw AssertionError{os.str()};
+}
+
+}  // namespace nmx

@@ -1,0 +1,33 @@
+// Project-wide invariant checking.
+//
+// NMX_ASSERT is active in all build types: a simulator whose invariants are
+// silently violated produces plausible-but-wrong timing curves, which is worse
+// than crashing. The cost is negligible next to the event-queue work.
+#pragma once
+
+#include <string>
+
+namespace nmx {
+
+/// Raised by NMX_ASSERT / NMX_FAIL. Tests can catch it; production callers
+/// should treat it as a programming error and let it terminate.
+struct AssertionError {
+  std::string message;
+};
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file, int line,
+                                    const std::string& detail = {});
+
+}  // namespace nmx
+
+#define NMX_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::nmx::assertion_failure(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define NMX_ASSERT_MSG(expr, detail)                                            \
+  do {                                                                          \
+    if (!(expr)) ::nmx::assertion_failure(#expr, __FILE__, __LINE__, (detail)); \
+  } while (0)
+
+#define NMX_FAIL(detail) ::nmx::assertion_failure("unreachable", __FILE__, __LINE__, (detail))

@@ -1,0 +1,35 @@
+// Unit helpers shared across the stack. Virtual time is `double` seconds
+// (discrete-event convention); sizes are bytes. The literals below keep
+// calibration tables readable: `1.2_us`, `64_KiB`, `1.25_GBps`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nmx {
+
+using Time = double;  ///< virtual seconds
+
+constexpr Time operator""_s(long double v) { return static_cast<Time>(v); }
+constexpr Time operator""_ms(long double v) { return static_cast<Time>(v) * 1e-3; }
+constexpr Time operator""_us(long double v) { return static_cast<Time>(v) * 1e-6; }
+constexpr Time operator""_ns(long double v) { return static_cast<Time>(v) * 1e-9; }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * 1e-6; }
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v) * 1e-9; }
+
+constexpr std::size_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::size_t operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Bandwidths are stored as bytes/second. The paper reports MBps with
+/// 1 MB = 1024*1024 bytes (§4.1), so we do too.
+using Bandwidth = double;
+constexpr Bandwidth operator""_MBps(long double v) { return static_cast<Bandwidth>(v) * 1024.0 * 1024.0; }
+constexpr Bandwidth operator""_MBps(unsigned long long v) { return static_cast<Bandwidth>(v) * 1024.0 * 1024.0; }
+constexpr Bandwidth operator""_GBps(long double v) { return static_cast<Bandwidth>(v) * 1024.0 * 1024.0 * 1024.0; }
+
+/// Convert a transfer measurement back to the paper's MBps for reporting.
+constexpr double to_MBps(double bytes_per_second) { return bytes_per_second / (1024.0 * 1024.0); }
+constexpr double to_us(Time t) { return t * 1e6; }
+
+}  // namespace nmx

@@ -1,0 +1,63 @@
+#include "harness/netpipe.hpp"
+
+#include <algorithm>
+
+namespace nmx::harness {
+
+std::vector<std::size_t> latency_sizes() {
+  std::vector<std::size_t> s;
+  for (std::size_t v = 1; v <= 512; v *= 2) s.push_back(v);
+  return s;
+}
+
+std::vector<std::size_t> bandwidth_sizes() {
+  std::vector<std::size_t> s;
+  for (std::size_t v = 1; v <= 64ull * 1024 * 1024; v *= 4) s.push_back(v);
+  return s;
+}
+
+std::vector<NetpipePoint> netpipe(mpi::Cluster& cluster, const std::vector<std::size_t>& sizes,
+                                  int iters, bool any_source) {
+  std::vector<NetpipePoint> out;
+  for (const std::size_t size : sizes) {
+    double best_rtt = 0;
+    cluster.run([&](mpi::Comm& c) {
+      if (c.rank() > 1) return;
+      std::vector<std::byte> buf(std::max<std::size_t>(size, 1));
+      const int peer = 1 - c.rank();
+      const int recv_src = any_source ? mpi::ANY_SOURCE : peer;
+      auto pingpong = [&] {
+        if (c.rank() == 0) {
+          c.send(buf.data(), size, peer, 99);
+          c.recv(buf.data(), size, recv_src, 99);
+        } else {
+          c.recv(buf.data(), size, recv_src, 99);
+          c.send(buf.data(), size, peer, 99);
+        }
+      };
+      pingpong();  // warmup (fills registration caches, like Netpipe's loop)
+      double best = 0;
+      for (int i = 0; i < iters; ++i) {
+        const double t0 = c.wtime();
+        pingpong();
+        const double rtt = c.wtime() - t0;
+        if (best == 0 || rtt < best) best = rtt;
+      }
+      if (c.rank() == 0) best_rtt = best;
+    });
+    NetpipePoint p;
+    p.size = size;
+    p.latency_us = best_rtt / 2.0 * 1e6;
+    p.bandwidth_MBps = static_cast<double>(size) / (best_rtt / 2.0) / (1024.0 * 1024.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<NetpipePoint> netpipe(mpi::ClusterConfig cfg, const std::vector<std::size_t>& sizes,
+                                  int iters, bool any_source) {
+  mpi::Cluster cluster(cfg);
+  return netpipe(cluster, sizes, iters, any_source);
+}
+
+}  // namespace nmx::harness

@@ -1,0 +1,36 @@
+// Netpipe-style ping-pong sweep (Snell, Mikler, Gustafson — the tool the
+// paper uses for Figures 4, 5 and 6): for each message size, time ping-pong
+// round trips between ranks 0 and 1 and report one-way latency and
+// bandwidth. The paper's convention of 1 MB = 1024*1024 bytes is kept.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace nmx::harness {
+
+struct NetpipePoint {
+  std::size_t size = 0;
+  double latency_us = 0;      ///< one-way, best of the measured iterations
+  double bandwidth_MBps = 0;  ///< size / one-way time
+};
+
+/// Message sizes of the paper's latency plots (1 B .. 512 B, powers of two).
+std::vector<std::size_t> latency_sizes();
+/// Message sizes of the paper's bandwidth plots (1 B .. 64 MB).
+std::vector<std::size_t> bandwidth_sizes();
+
+/// Run the sweep on an existing cluster (ranks 0 and 1 must exist). Each
+/// size does one warmup and `iters` measured round trips. `any_source`
+/// replaces the known-source receives with MPI_ANY_SOURCE — the "w/AS"
+/// curve of Figure 4a.
+std::vector<NetpipePoint> netpipe(mpi::Cluster& cluster, const std::vector<std::size_t>& sizes,
+                                  int iters = 3, bool any_source = false);
+
+/// Convenience: build a 2-process cluster from `cfg` and sweep it.
+std::vector<NetpipePoint> netpipe(mpi::ClusterConfig cfg, const std::vector<std::size_t>& sizes,
+                                  int iters = 3, bool any_source = false);
+
+}  // namespace nmx::harness

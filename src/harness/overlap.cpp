@@ -1,0 +1,53 @@
+#include "harness/overlap.hpp"
+
+#include <algorithm>
+
+namespace nmx::harness {
+
+std::vector<OverlapPoint> overlap(mpi::Cluster& cluster, const std::vector<std::size_t>& sizes,
+                                  double compute_seconds, int iters) {
+  std::vector<OverlapPoint> out;
+  for (const std::size_t size : sizes) {
+    double total = 0;
+    cluster.run([&](mpi::Comm& c) {
+      std::vector<std::byte> buf(std::max<std::size_t>(size, 1));
+      char ack = 0;
+      if (c.rank() == 0) {
+        // warmup exchange
+        c.send(buf.data(), size, 1, 7);
+        c.recv(&ack, 1, 1, 8);
+        double sum = 0;
+        for (int i = 0; i < iters; ++i) {
+          const double t0 = c.wtime();
+          mpi::Request r = c.isend(buf.data(), size, 1, 7);
+          if (compute_seconds > 0) c.compute(compute_seconds);
+          c.wait(r);
+          sum += c.wtime() - t0;
+          // close the loop so iterations do not pipeline into each other
+          c.recv(&ack, 1, 1, 8);
+        }
+        total = sum / iters;
+      } else if (c.rank() == 1) {
+        c.recv(buf.data(), size, 0, 7);
+        c.send(&ack, 1, 0, 8);
+        for (int i = 0; i < iters; ++i) {
+          c.recv(buf.data(), size, 0, 7);  // receiver sits in MPI_Recv
+          c.send(&ack, 1, 0, 8);
+        }
+      }
+    });
+    OverlapPoint p;
+    p.size = size;
+    p.send_time_us = total * 1e6;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<OverlapPoint> overlap(mpi::ClusterConfig cfg, const std::vector<std::size_t>& sizes,
+                                  double compute_seconds, int iters) {
+  mpi::Cluster cluster(cfg);
+  return overlap(cluster, sizes, compute_seconds, iters);
+}
+
+}  // namespace nmx::harness

@@ -1,0 +1,31 @@
+// The overlap benchmark of §4.1.2 / Figure 7: "the sender calls MPI_Isend,
+// computes for a while and waits for the end of the communication (using
+// MPI_Wait) ... We measure the time required to send the message and to
+// perform the computation."
+//
+// A stack with background progression (PIOMan) yields
+//   sending_time ≈ max(computation, communication);
+// one without yields
+//   sending_time ≈ computation + communication.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace nmx::harness {
+
+struct OverlapPoint {
+  std::size_t size = 0;
+  double send_time_us = 0;  ///< isend + compute + wait, averaged
+};
+
+/// `compute_seconds` = 0 gives the "Reference (no computation)" curve.
+std::vector<OverlapPoint> overlap(mpi::Cluster& cluster, const std::vector<std::size_t>& sizes,
+                                  double compute_seconds, int iters = 3);
+
+std::vector<OverlapPoint> overlap(mpi::ClusterConfig cfg, const std::vector<std::size_t>& sizes,
+                                  double compute_seconds, int iters = 3);
+
+}  // namespace nmx::harness

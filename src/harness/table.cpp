@@ -1,0 +1,45 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nmx::harness {
+
+std::string Table::fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::bytes(std::size_t n) {
+  if (n >= 1024ull * 1024 && n % (1024ull * 1024) == 0) return std::to_string(n / 1024 / 1024) + "M";
+  if (n >= 1024 && n % 1024 == 0) return std::to_string(n / 1024) + "K";
+  return std::to_string(n);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < w.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(w[i]));
+      os << cells[i];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::string dash;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    dash += std::string(w[i], '-') + (i + 1 < headers_.size() ? "  " : "");
+  }
+  os << dash << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace nmx::harness

@@ -1,0 +1,27 @@
+// Minimal fixed-width table printer for the paper-style bench output.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace nmx::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void print(std::ostream& os) const;
+
+  /// Format a double with `prec` digits after the point.
+  static std::string fmt(double v, int prec = 2);
+  /// Human-readable byte count ("4K", "16M").
+  static std::string bytes(std::size_t n);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nmx::harness

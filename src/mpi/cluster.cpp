@@ -1,0 +1,133 @@
+#include "mpi/cluster.hpp"
+
+#include <numeric>
+
+#include "baseline/mvapich.hpp"
+#include "baseline/openmpi.hpp"
+#include "ch3/process.hpp"
+
+namespace nmx::mpi {
+
+std::string to_string(StackKind k) {
+  switch (k) {
+    case StackKind::Mpich2Nmad: return "MPICH2-NMad";
+    case StackKind::Mvapich2: return "MVAPICH2";
+    case StackKind::OpenMpiBtlIb: return "OpenMPI-BTL-IB";
+    case StackKind::OpenMpiBtlMx: return "OpenMPI-BTL-MX";
+    case StackKind::OpenMpiCmMx: return "OpenMPI-CM-MX";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  NMX_ASSERT(cfg_.nodes > 0 && cfg_.procs > 0);
+  NMX_ASSERT(!cfg_.rails.empty());
+  if (cfg_.trace) {
+    tracer_ = std::make_unique<sim::Tracer>();
+    eng_.set_tracer(tracer_.get());
+  }
+  net::Topology topo = cfg_.cyclic_mapping
+                           ? net::Topology::cyclic(cfg_.nodes, cfg_.procs, cfg_.rails)
+                           : net::Topology::blocked(cfg_.nodes, cfg_.procs, cfg_.rails);
+  fabric_ = std::make_unique<net::Fabric>(eng_, topo);
+  const net::Topology& t = fabric_->topology();
+
+  // Per-node infrastructure: shared-memory region (when >1 local process)
+  // and the NIC demultiplexer.
+  std::vector<int> local_count(static_cast<std::size_t>(t.num_nodes), 0);
+  for (int p = 0; p < t.num_procs(); ++p) local_count[static_cast<std::size_t>(t.node_of(p))]++;
+  shm_nodes_.resize(static_cast<std::size_t>(t.num_nodes));
+  for (int n = 0; n < t.num_nodes; ++n) {
+    if (local_count[static_cast<std::size_t>(n)] > 1) {
+      shm_nodes_[static_cast<std::size_t>(n)] =
+          std::make_unique<nemesis::ShmNode>(eng_, local_count[static_cast<std::size_t>(n)]);
+    }
+    routers_.push_back(std::make_unique<net::ProcRouter>(*fabric_, n));
+  }
+
+  std::vector<int> next_local(static_cast<std::size_t>(t.num_nodes), 0);
+  for (int p = 0; p < t.num_procs(); ++p) {
+    const int node = t.node_of(p);
+    const int local = next_local[static_cast<std::size_t>(node)]++;
+    nemesis::ShmNode* shm = shm_nodes_[static_cast<std::size_t>(node)].get();
+    net::ProcRouter& router = *routers_[static_cast<std::size_t>(node)];
+
+    switch (cfg_.stack) {
+      case StackKind::Mpich2Nmad: {
+        ch3::Ch3Process::Config c;
+        c.nmad.strategy = cfg_.strategy;
+        c.nmad.adaptive_split = cfg_.adaptive_split;
+        c.nmad.rails.clear();
+        for (int r = 0; r < t.num_rails(); ++r) c.nmad.rails.push_back(r);
+        c.pioman = cfg_.pioman;
+        c.bypass = cfg_.bypass;
+        transports_.push_back(
+            std::make_unique<ch3::Ch3Process>(eng_, *fabric_, router, shm, p, local, c));
+        break;
+      }
+      case StackKind::Mvapich2: {
+        baseline::MvapichTransport::Config c;
+        c.use_rcache = cfg_.mvapich_rcache;
+        baseline::BaseTransport::Env env{&eng_, fabric_.get(), &router, shm, p, local};
+        transports_.push_back(std::make_unique<baseline::MvapichTransport>(env, c));
+        break;
+      }
+      case StackKind::OpenMpiBtlIb:
+      case StackKind::OpenMpiBtlMx:
+      case StackKind::OpenMpiCmMx: {
+        baseline::OmpiTransport::Config c;
+        c.variant = cfg_.stack == StackKind::OpenMpiBtlIb  ? baseline::OmpiVariant::BtlIb
+                    : cfg_.stack == StackKind::OpenMpiBtlMx ? baseline::OmpiVariant::BtlMx
+                                                             : baseline::OmpiVariant::CmMx;
+        c.dilation = cfg_.ompi_dilation;
+        baseline::BaseTransport::Env env{&eng_, fabric_.get(), &router, shm, p, local};
+        transports_.push_back(std::make_unique<baseline::OmpiTransport>(env, c));
+        break;
+      }
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run_threads(int threads, std::function<void(Comm&, int thread)> body) {
+  NMX_ASSERT(threads > 0);
+  ++runs_;
+  const net::Topology& t = fabric_->topology();
+  for (int p = 0; p < cfg_.procs; ++p) {
+    int locals = 0;
+    for (int q = 0; q < t.num_procs(); ++q) {
+      if (t.same_node(p, q)) ++locals;
+    }
+    for (int th = 0; th < threads; ++th) {
+      eng_.spawn("rank" + std::to_string(p) + ".t" + std::to_string(th) + ".run" +
+                     std::to_string(runs_),
+                 [this, p, th, locals, body](sim::Actor& self) {
+                   Comm comm(self, *transports_[static_cast<std::size_t>(p)], eng_, p,
+                             cfg_.procs, locals);
+                   body(comm, th);
+                 });
+    }
+  }
+  eng_.run();
+}
+
+void Cluster::run(std::function<void(Comm&)> body) {
+  ++runs_;
+  const net::Topology& t = fabric_->topology();
+  for (int p = 0; p < cfg_.procs; ++p) {
+    int locals = 0;
+    for (int q = 0; q < t.num_procs(); ++q) {
+      if (t.same_node(p, q)) ++locals;
+    }
+    eng_.spawn("rank" + std::to_string(p) + ".run" + std::to_string(runs_),
+               [this, p, locals, body](sim::Actor& self) {
+                 Comm comm(self, *transports_[static_cast<std::size_t>(p)], eng_, p, cfg_.procs,
+                           locals);
+                 body(comm);
+               });
+  }
+  eng_.run();
+}
+
+}  // namespace nmx::mpi

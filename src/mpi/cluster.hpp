@@ -1,0 +1,92 @@
+// SPMD launcher: builds the simulated cluster (fabric, per-node shared
+// memory, one transport per process) and runs one actor per MPI rank.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/transport.hpp"
+#include "sim/trace.hpp"
+#include "nemesis/shm.hpp"
+#include "net/fabric.hpp"
+#include "net/router.hpp"
+#include "nmad/types.hpp"
+#include "sim/engine.hpp"
+
+namespace nmx::mpi {
+
+enum class StackKind {
+  Mpich2Nmad,   ///< the paper's stack (CH3 + Nemesis + NewMadeleine [+PIOMan])
+  Mvapich2,     ///< MVAPICH2 1.0.3-like baseline
+  OpenMpiBtlIb, ///< Open MPI 1.2.7-like, openib BTL
+  OpenMpiBtlMx, ///< Open MPI, MX BTL
+  OpenMpiCmMx,  ///< Open MPI, CM PML over the MX MTL
+};
+
+std::string to_string(StackKind k);
+
+struct ClusterConfig {
+  int nodes = 2;
+  int procs = 2;
+  std::vector<net::NicProfile> rails{net::ib_profile()};
+  /// false: block mapping (fill node 0 first). true: cyclic/scatter mapping
+  /// (rank p on node p % nodes), the paper's Grid'5000 placement.
+  bool cyclic_mapping = false;
+
+  StackKind stack = StackKind::Mpich2Nmad;
+
+  // MPICH2-NewMadeleine knobs
+  nmad::StrategyKind strategy = nmad::StrategyKind::Aggreg;
+  bool pioman = false;
+  bool bypass = true;          ///< false = legacy netmod path (Fig 2 ablation)
+  bool adaptive_split = true;  ///< false = naive even multirail split
+
+  // baseline knobs
+  bool mvapich_rcache = true;
+  double ompi_dilation = 1.09;
+
+  /// Record a sim::Tracer event stream (Cluster::tracer()).
+  bool trace = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  /// Run `body` as an SPMD program, one simulated rank per process. May be
+  /// called repeatedly; virtual time keeps advancing.
+  void run(std::function<void(Comm&)> body);
+
+  /// MPI_THREAD_MULTIPLE-style execution: `threads` application threads per
+  /// rank, each with its own Comm view onto the shared per-process stack.
+  /// This is the usage §3.3.2 anticipates: "whenever an application thread
+  /// waits for a message completion ... it is blocked on a semaphore and
+  /// another thread can be scheduled" — here each thread is a simulated
+  /// actor that blocks independently and is woken by its own completion.
+  void run_threads(int threads, std::function<void(Comm&, int thread)> body);
+
+  sim::Engine& engine() { return eng_; }
+  net::Fabric& fabric() { return *fabric_; }
+  Transport& transport(int rank) { return *transports_.at(static_cast<std::size_t>(rank)); }
+  const ClusterConfig& config() const { return cfg_; }
+  /// Virtual time now (seconds).
+  Time now() const { return eng_.now(); }
+  /// The attached tracer (null unless config().trace).
+  sim::Tracer* tracer() { return tracer_.get(); }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine eng_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<nemesis::ShmNode>> shm_nodes_;   // per node (may be null)
+  std::vector<std::unique_ptr<net::ProcRouter>> routers_;      // per node
+  std::vector<std::unique_ptr<Transport>> transports_;         // per proc
+  std::unique_ptr<sim::Tracer> tracer_;
+  int runs_ = 0;
+};
+
+}  // namespace nmx::mpi

@@ -1,0 +1,215 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace nmx::mpi {
+
+void Comm::csend(const void* buf, std::size_t len, int dst, int tag) {
+  Request r = wrap(tx_.isend(global(dst), tag, ctx_base_ + kCollContext, buf, len));
+  wait(r);
+}
+
+Status Comm::crecv(void* buf, std::size_t cap, int src, int tag) {
+  Request r = wrap(tx_.irecv(global(src), tag, ctx_base_ + kCollContext, buf, cap));
+  return wait(r);
+}
+
+Status Comm::csendrecv(const void* sbuf, std::size_t slen, int dst, int stag, void* rbuf,
+                       std::size_t rcap, int src, int rtag) {
+  Request rr = wrap(tx_.irecv(global(src), rtag, ctx_base_ + kCollContext, rbuf, rcap));
+  Request sr = wrap(tx_.isend(global(dst), stag, ctx_base_ + kCollContext, sbuf, slen));
+  wait(sr);
+  return wait(rr);
+}
+
+Comm Comm::split(int color, int key) {
+  // Gather every member's (color, key): an allgather keeps this collective
+  // deterministic, then each rank derives its group locally.
+  std::vector<std::int64_t> mine{color, key, rank_};
+  std::vector<std::int64_t> all(static_cast<std::size_t>(size_) * 3);
+  allgather(mine.data(), 3 * sizeof(std::int64_t), all.data());
+
+  struct Member {
+    int key, parent_rank;
+  };
+  std::vector<Member> members;
+  for (int p = 0; p < size_; ++p) {
+    if (all[static_cast<std::size_t>(p) * 3] == color) {
+      members.push_back(Member{static_cast<int>(all[static_cast<std::size_t>(p) * 3 + 1]),
+                               static_cast<int>(all[static_cast<std::size_t>(p) * 3 + 2])});
+    }
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a, const Member& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  Comm sub(actor_, tx_, eng_, 0, static_cast<int>(members.size()), local_ranks_);
+  sub.group_.clear();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int world = global(members[i].parent_rank);
+    sub.group_.push_back(world);
+    if (members[i].parent_rank == rank_) sub.rank_ = static_cast<int>(i);
+  }
+  // Context allocation: every member executes the same split sequence, so
+  // this counter agrees across the group. Distinct colors get distinct
+  // blocks so sibling communicators cannot cross-match.
+  NMX_ASSERT_MSG(color >= 0, "negative split colors are not supported");
+  int max_color = 0;
+  for (int p = 0; p < size_; ++p) {
+    max_color = std::max(max_color, static_cast<int>(all[static_cast<std::size_t>(p) * 3]));
+  }
+  sub.ctx_base_ = ctx_base_ + next_split_ctx_ + color * 16;
+  NMX_ASSERT_MSG(sub.ctx_base_ + 16 < 0x7ffffff0, "context space exhausted");
+  next_split_ctx_ += 16 * (1 + max_color);
+  sub.next_split_ctx_ = 16;
+  return sub;
+}
+
+int Comm::waitany(std::span<Request> reqs, Status* st) {
+  // Poll-free: wait on each in turn would serialize; instead register this
+  // actor as a waiter on every active request and block until one fires.
+  trace(sim::TraceCat::MpiWait);
+  tx_.enter_progress();
+  for (;;) {
+    int active = -1;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      active = static_cast<int>(i);
+      if (reqs[i].req_->completed) {
+        if (st != nullptr) *st = localized(reqs[i].req_->status);
+        tx_.release(reqs[i].req_);
+        reqs[i].req_ = nullptr;
+        tx_.leave_progress();
+        return static_cast<int>(i);
+      }
+    }
+    NMX_ASSERT_MSG(active >= 0, "waitany with no active requests");
+    for (Request& r : reqs) {
+      if (r.valid()) r.req_->waiters.push_back(&actor_);
+    }
+    actor_.block();
+    // Remove ourselves from the requests that did not fire; completed ones
+    // cleared their waiter lists already.
+    for (Request& r : reqs) {
+      if (!r.valid()) continue;
+      auto& w = r.req_->waiters;
+      w.erase(std::remove(w.begin(), w.end(), &actor_), w.end());
+    }
+  }
+}
+
+void Comm::barrier() {
+  trace(sim::TraceCat::MpiColl, 0, 0);
+  // Dissemination barrier: ceil(log2 P) rounds.
+  constexpr int kTag = 1000;
+  int round = 0;
+  for (int k = 1; k < size_; k <<= 1, ++round) {
+    const int dst = (rank_ + k) % size_;
+    const int src = (rank_ - k + size_) % size_;
+    csendrecv(nullptr, 0, dst, kTag + round, nullptr, 0, src, kTag + round);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t len, int root) {
+  // Binomial tree rooted at `root`.
+  constexpr int kTag = 2000;
+  const int vr = (rank_ - root + size_) % size_;
+  int lowbit = vr == 0 ? 1 : (vr & -vr);
+  if (vr == 0) {
+    while (lowbit < size_) lowbit <<= 1;
+  } else {
+    const int parent = (vr - lowbit + root) % size_;
+    crecv(buf, len, parent, kTag);
+  }
+  for (int m = lowbit >> 1; m >= 1; m >>= 1) {
+    if (vr + m < size_) {
+      const int child = (vr + m + root) % size_;
+      csend(buf, len, child, kTag);
+    }
+  }
+}
+
+void Comm::gather(const void* sendbuf, std::size_t block, void* recvbuf, int root) {
+  constexpr int kTag = 4000;
+  if (rank_ == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(rank_) * block, sendbuf, block);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size_ - 1));
+    for (int p = 0; p < size_; ++p) {
+      if (p == root) continue;
+      reqs.push_back(wrap(tx_.irecv(global(p), kTag, ctx_base_ + kCollContext,
+                                    out + static_cast<std::size_t>(p) * block, block)));
+    }
+    waitall(reqs);
+  } else {
+    csend(sendbuf, block, root, kTag);
+  }
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t block, void* recvbuf, int root) {
+  constexpr int kTag = 5000;
+  if (rank_ == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size_ - 1));
+    for (int p = 0; p < size_; ++p) {
+      if (p == root) continue;
+      reqs.push_back(wrap(tx_.isend(global(p), kTag, ctx_base_ + kCollContext,
+                                    in + static_cast<std::size_t>(p) * block, block)));
+    }
+    std::memcpy(recvbuf, in + static_cast<std::size_t>(rank_) * block, block);
+    waitall(reqs);
+  } else {
+    crecv(recvbuf, block, root, kTag);
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t block, void* recvbuf) {
+  // Ring: P-1 steps, each forwarding the block received in the previous one.
+  constexpr int kTag = 6000;
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * block, sendbuf, block);
+  const int right = (rank_ + 1) % size_;
+  const int left = (rank_ - 1 + size_) % size_;
+  int cur = rank_;
+  for (int step = 0; step < size_ - 1; ++step) {
+    const int incoming = (cur - 1 + size_) % size_;
+    csendrecv(out + static_cast<std::size_t>(cur) * block, block, right, kTag + step,
+              out + static_cast<std::size_t>(incoming) * block, block, left, kTag + step);
+    cur = incoming;
+  }
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t block, void* recvbuf) {
+  // Pairwise exchange: P-1 rounds of shifted sendrecv.
+  constexpr int kTag = 7000;
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * block,
+              in + static_cast<std::size_t>(rank_) * block, block);
+  for (int k = 1; k < size_; ++k) {
+    const int dst = (rank_ + k) % size_;
+    const int src = (rank_ - k + size_) % size_;
+    csendrecv(in + static_cast<std::size_t>(dst) * block, block, dst, kTag + k,
+              out + static_cast<std::size_t>(src) * block, block, src, kTag + k);
+  }
+}
+
+void Comm::alltoallv(const void* sendbuf, const std::size_t* sendcounts,
+                     const std::size_t* senddispls, void* recvbuf,
+                     const std::size_t* recvcounts, const std::size_t* recvdispls) {
+  constexpr int kTag = 7500;
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + recvdispls[rank_], in + senddispls[rank_], sendcounts[rank_]);
+  for (int k = 1; k < size_; ++k) {
+    const int dst = (rank_ + k) % size_;
+    const int src = (rank_ - k + size_) % size_;
+    csendrecv(in + senddispls[dst], sendcounts[dst], dst, kTag + (k & 15),
+              out + recvdispls[src], recvcounts[src], src, kTag + (k & 15));
+  }
+}
+
+}  // namespace nmx::mpi

@@ -1,0 +1,418 @@
+// The public MPI-like API. One Comm per rank, usable only from that rank's
+// simulated actor. All stacks (MPICH2-NewMadeleine and the baselines) sit
+// behind the same Transport interface, so application code — examples, the
+// NAS kernels, the netpipe harness — is identical across stacks, as in the
+// paper's evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/transport.hpp"
+#include "net/calibration.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace nmx::mpi {
+
+/// User-visible request handle (MPI_Request).
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return req_ != nullptr; }
+
+ private:
+  friend class Comm;
+  TxRequest* req_ = nullptr;
+};
+
+enum class ReduceOp { Sum, Prod, Min, Max };
+
+class Comm {
+ public:
+  Comm(sim::Actor& actor, Transport& tx, sim::Engine& eng, int rank, int size,
+       int local_ranks = 1)
+      : actor_(actor), tx_(tx), eng_(eng), rank_(rank), size_(size), local_ranks_(local_ranks) {
+    group_.resize(static_cast<std::size_t>(size));
+    for (int p = 0; p < size; ++p) group_[static_cast<std::size_t>(p)] = p;
+  }
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// MPI_Comm_split: collective; ranks supplying the same `color` form a
+  /// new communicator, ordered by `key` (ties by parent rank). Each new
+  /// communicator gets its own context block, so its traffic — including
+  /// MPI_ANY_SOURCE — cannot match the parent's or a sibling's. Must be
+  /// called by all members of this communicator in the same program order.
+  Comm split(int color, int key);
+  /// Number of ranks placed on this rank's node (for shared-resource
+  /// contention models: memory bandwidth, NIC sharing).
+  int local_ranks() const { return local_ranks_; }
+
+  // --- point-to-point -----------------------------------------------------
+
+  Request isend(const void* buf, std::size_t len, int dst, int tag) {
+    trace(sim::TraceCat::MpiSend, len, dst);
+    return wrap(tx_.isend(global(dst), tag, ctx_base_ + kUserContext, buf, len));
+  }
+  Request irecv(void* buf, std::size_t cap, int src, int tag) {
+    trace(sim::TraceCat::MpiRecv, cap, src);
+    return wrap(tx_.irecv(global_or_any(src), tag, ctx_base_ + kUserContext, buf, cap));
+  }
+  void send(const void* buf, std::size_t len, int dst, int tag) {
+    Request r = isend(buf, len, dst, tag);
+    wait(r);
+  }
+  Status recv(void* buf, std::size_t cap, int src, int tag) {
+    Request r = irecv(buf, cap, src, tag);
+    return wait(r);
+  }
+
+  Status wait(Request& r) {
+    NMX_ASSERT_MSG(r.valid(), "wait on an inactive request");
+    trace(sim::TraceCat::MpiWait);
+    tx_.wait(actor_, r.req_);
+    const Status st = localized(r.req_->status);
+    tx_.release(r.req_);
+    r.req_ = nullptr;
+    return st;
+  }
+
+  /// Block until one of `reqs` completes; returns its index and frees it
+  /// (MPI_Waitany). At least one request must be active.
+  int waitany(std::span<Request> reqs, Status* st = nullptr);
+
+  void waitall(std::span<Request> reqs) {
+    for (Request& r : reqs) {
+      if (r.valid()) wait(r);
+    }
+  }
+
+  /// Non-blocking completion check; fills `st` on success and frees the
+  /// request (one progress poke per call, like MPI_Test).
+  bool test(Request& r, Status* st = nullptr) {
+    NMX_ASSERT_MSG(r.valid(), "test on an inactive request");
+    if (!tx_.test(r.req_)) return false;
+    if (st != nullptr) *st = localized(r.req_->status);
+    tx_.release(r.req_);
+    r.req_ = nullptr;
+    return true;
+  }
+
+  Status sendrecv(const void* sbuf, std::size_t slen, int dst, int stag, void* rbuf,
+                  std::size_t rcap, int src, int rtag) {
+    Request rr = irecv(rbuf, rcap, src, rtag);
+    Request sr = isend(sbuf, slen, dst, stag);
+    wait(sr);
+    return wait(rr);
+  }
+
+  /// Non-destructive check for a matching incoming message (MPI_Iprobe);
+  /// `src` / `tag` may be wildcards. Charges one progress-engine poll pass
+  /// (handling the already-arrived packets is what the pass pays for).
+  std::optional<Status> iprobe(int src, int tag) {
+    if (auto st = tx_.iprobe(global_or_any(src), tag, ctx_base_ + kUserContext)) {
+      return localized(*st);
+    }
+    actor_.sleep_for(1.0_us);  // let the drained packets finish handling
+    if (auto st = tx_.iprobe(global_or_any(src), tag, ctx_base_ + kUserContext)) {
+      return localized(*st);
+    }
+    return std::nullopt;
+  }
+
+  // --- derived datatypes (§5 future work — see mpi/datatype.hpp) -----------
+
+  /// Send the layout `dt` rooted at `base`. Stacks without native segment
+  /// support pack through a bounce buffer and pay the gather copy.
+  void send(const void* base, const Datatype& dt, int dst, int tag) {
+    if (dt.contiguous_layout()) {
+      const auto& segs = dt.segments();
+      send(segs.empty() ? base : static_cast<const std::byte*>(base) + segs[0].offset,
+           dt.packed_size(), dst, tag);
+      return;
+    }
+    std::vector<std::byte> packed(dt.packed_size());
+    dt.pack(base, packed.data());
+    if (!tx_.native_datatypes()) actor_.sleep_for(calib::copy_cost(packed.size()));
+    send(packed.data(), packed.size(), dst, tag);
+  }
+
+  /// Receive into the layout `dt` rooted at `base`.
+  Status recv(void* base, const Datatype& dt, int src, int tag) {
+    if (dt.contiguous_layout()) {
+      const auto& segs = dt.segments();
+      return recv(segs.empty() ? base : static_cast<std::byte*>(base) + segs[0].offset,
+                  dt.packed_size(), src, tag);
+    }
+    std::vector<std::byte> packed(dt.packed_size());
+    Status st = recv(packed.data(), packed.size(), src, tag);
+    if (!tx_.native_datatypes()) actor_.sleep_for(calib::copy_cost(packed.size()));
+    dt.unpack(packed.data(), base);
+    return st;
+  }
+
+  // --- typed convenience ----------------------------------------------------
+
+  template <class T>
+  void send(std::span<const T> data, int dst, int tag) {
+    send(data.data(), data.size_bytes(), dst, tag);
+  }
+  template <class T>
+  Status recv(std::span<T> data, int src, int tag) {
+    return recv(data.data(), data.size_bytes(), src, tag);
+  }
+  template <class T>
+  void send_value(const T& v, int dst, int tag) {
+    send(&v, sizeof(T), dst, tag);
+  }
+  template <class T>
+  T recv_value(int src, int tag) {
+    T v{};
+    recv(&v, sizeof(T), src, tag);
+    return v;
+  }
+
+  // --- collectives ----------------------------------------------------------
+
+  void barrier();
+  void bcast(void* buf, std::size_t len, int root);
+  /// `block` bytes contributed per rank; recvbuf holds size()*block at root.
+  void gather(const void* sendbuf, std::size_t block, void* recvbuf, int root);
+  void scatter(const void* sendbuf, std::size_t block, void* recvbuf, int root);
+  void allgather(const void* sendbuf, std::size_t block, void* recvbuf);
+  void alltoall(const void* sendbuf, std::size_t block, void* recvbuf);
+  /// Variable-size all-to-all (MPI_Alltoallv, byte counts/displacements) —
+  /// what the IS kernel needs.
+  void alltoallv(const void* sendbuf, const std::size_t* sendcounts,
+                 const std::size_t* senddispls, void* recvbuf, const std::size_t* recvcounts,
+                 const std::size_t* recvdispls);
+  /// Inclusive prefix reduction (MPI_Scan).
+  template <class T>
+  void scan(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op);
+  /// Reduce + scatter of equal blocks (MPI_Reduce_scatter_block).
+  template <class T>
+  void reduce_scatter_block(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op);
+
+  template <class T>
+  void reduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op, int root);
+  /// Binomial reduce + binomial broadcast (bandwidth-friendly; the default).
+  template <class T>
+  void allreduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op);
+  /// Recursive-doubling allreduce: log2(P) rounds of pairwise exchange —
+  /// half the latency of reduce+bcast for small payloads, at the cost of
+  /// sending the full vector every round. Non-power-of-two counts fold the
+  /// excess ranks in and out (the MPICH algorithm). See bench/abl_allreduce.
+  template <class T>
+  void allreduce_rd(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op);
+  template <class T>
+  T allreduce_one(T value, ReduceOp op) {
+    T out{};
+    allreduce(&value, &out, 1, op);
+    return out;
+  }
+
+  // --- time -----------------------------------------------------------------
+
+  /// Virtual wall-clock seconds (MPI_Wtime).
+  double wtime() const { return eng_.now(); }
+  /// Model `seconds` of application computation (advances virtual time;
+  /// dilated by stacks whose progression machinery steals cycles).
+  void compute(double seconds) {
+    trace(sim::TraceCat::Compute, static_cast<std::size_t>(seconds * 1e9));
+    actor_.sleep_for(seconds * tx_.compute_dilation());
+  }
+
+  sim::Actor& actor() { return actor_; }
+  Transport& transport() { return tx_; }
+
+  // --- subsystem plumbing (used by mpi::Window; not part of the user API) --
+
+  /// Reserved context for one-sided (RMA) traffic.
+  static constexpr int kRmaContext = 2;
+  Request isend_ctx(const void* buf, std::size_t len, int dst, int tag, int context) {
+    return wrap(tx_.isend(global(dst), tag, ctx_base_ + context, buf, len));
+  }
+  Request irecv_ctx(void* buf, std::size_t cap, int src, int tag, int context) {
+    return wrap(tx_.irecv(global_or_any(src), tag, ctx_base_ + context, buf, cap));
+  }
+
+ private:
+  static constexpr int kUserContext = 0;
+  static constexpr int kCollContext = 1;
+
+  Request wrap(TxRequest* r) {
+    Request h;
+    h.req_ = r;
+    return h;
+  }
+  void trace(sim::TraceCat cat, std::size_t bytes = 0, std::int64_t a = 0) {
+    if (sim::Tracer* tr = eng_.tracer()) tr->record(eng_.now(), rank_, cat, bytes, a);
+  }
+  /// local rank in this communicator -> transport (world) rank
+  int global(int local) const {
+    NMX_ASSERT_MSG(local >= 0 && local < size_, "peer rank outside this communicator");
+    return group_[static_cast<std::size_t>(local)];
+  }
+  int global_or_any(int local) const { return local == ANY_SOURCE ? ANY_SOURCE : global(local); }
+  /// world rank in a status -> local rank in this communicator
+  Status localized(Status st) const {
+    if (st.source >= 0) {
+      for (int p = 0; p < size_; ++p) {
+        if (group_[static_cast<std::size_t>(p)] == st.source) {
+          st.source = p;
+          return st;
+        }
+      }
+      NMX_FAIL("status source outside this communicator");
+    }
+    return st;
+  }
+  // collective-internal pt2pt on the collective context
+  void csend(const void* buf, std::size_t len, int dst, int tag);
+  Status crecv(void* buf, std::size_t cap, int src, int tag);
+  Status csendrecv(const void* sbuf, std::size_t slen, int dst, int stag, void* rbuf,
+                   std::size_t rcap, int src, int rtag);
+
+  template <class T>
+  static void apply(ReduceOp op, T* inout, const T* in, std::size_t n);
+
+  sim::Actor& actor_;
+  Transport& tx_;
+  sim::Engine& eng_;
+  int rank_;
+  int size_;
+  int local_ranks_;
+  std::vector<int> group_;  ///< local rank -> world rank
+  int ctx_base_ = 0;        ///< context block of this communicator
+  int next_split_ctx_ = 16; ///< context block for the next split (collective)
+};
+
+// ---------------------------------------------------------------------------
+// templated collectives
+// ---------------------------------------------------------------------------
+
+template <class T>
+void Comm::apply(ReduceOp op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] + in[i];
+      break;
+    case ReduceOp::Prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] * in[i];
+      break;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+      break;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = in[i] > inout[i] ? in[i] : inout[i];
+      break;
+  }
+}
+
+template <class T>
+void Comm::reduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op, int root) {
+  // Binomial-tree reduce on the rank space rotated so `root` maps to 0.
+  constexpr int kTag = 3000;
+  const int vr = (rank_ - root + size_) % size_;
+  std::vector<T> acc(sendbuf, sendbuf + count);
+  std::vector<T> tmp(count);
+
+  int lowbit = vr == 0 ? 1 : (vr & -vr);
+  if (vr == 0) {
+    while (lowbit < size_) lowbit <<= 1;
+  }
+  for (int m = 1; m < lowbit && vr + m < size_; m <<= 1) {
+    const int child = (vr + m + root) % size_;
+    crecv(tmp.data(), count * sizeof(T), child, kTag);
+    apply(op, acc.data(), tmp.data(), count);
+  }
+  if (vr != 0) {
+    const int parent = (vr - lowbit + root) % size_;
+    csend(acc.data(), count * sizeof(T), parent, kTag);
+  } else if (recvbuf != nullptr) {
+    std::memcpy(recvbuf, acc.data(), count * sizeof(T));
+  }
+}
+
+template <class T>
+void Comm::allreduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
+  reduce(sendbuf, recvbuf, count, op, 0);
+  bcast(recvbuf, count * sizeof(T), 0);
+}
+
+template <class T>
+void Comm::allreduce_rd(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
+  constexpr int kTag = 8500;
+  std::vector<T> acc(sendbuf, sendbuf + count);
+  std::vector<T> tmp(count);
+  const std::size_t bytes = count * sizeof(T);
+
+  // Largest power of two <= P; the excess ranks fold into a partner first,
+  // sit out the doubling, and get the result afterwards.
+  int pof2 = 1;
+  while (pof2 * 2 <= size_) pof2 *= 2;
+  const int rem = size_ - pof2;
+
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {  // even excess rank: contribute and sit out
+      csend(acc.data(), bytes, rank_ + 1, kTag);
+      newrank = -1;
+    } else {
+      crecv(tmp.data(), bytes, rank_ - 1, kTag);
+      apply(op, acc.data(), tmp.data(), count);
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newdst = newrank ^ mask;
+      const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+      csendrecv(acc.data(), bytes, dst, kTag + 1, tmp.data(), bytes, dst, kTag + 1);
+      apply(op, acc.data(), tmp.data(), count);
+    }
+  }
+
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      crecv(acc.data(), bytes, rank_ + 1, kTag + 2);
+    } else {
+      csend(acc.data(), bytes, rank_ - 1, kTag + 2);
+    }
+  }
+  std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+template <class T>
+void Comm::scan(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
+  // Linear pipeline: receive the prefix from rank-1, fold in our values,
+  // forward to rank+1.
+  constexpr int kTag = 8000;
+  std::vector<T> acc(sendbuf, sendbuf + count);
+  if (rank_ > 0) {
+    std::vector<T> prefix(count);
+    crecv(prefix.data(), count * sizeof(T), rank_ - 1, kTag);
+    apply(op, acc.data(), prefix.data(), count);
+  }
+  if (rank_ + 1 < size_) csend(acc.data(), count * sizeof(T), rank_ + 1, kTag);
+  std::memcpy(recvbuf, acc.data(), count * sizeof(T));
+}
+
+template <class T>
+void Comm::reduce_scatter_block(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
+  // Reduce the full vector to rank 0, then scatter the blocks.
+  std::vector<T> full(count * static_cast<std::size_t>(size_));
+  reduce(sendbuf, full.data(), count * static_cast<std::size_t>(size_), op, 0);
+  scatter(full.data(), count * sizeof(T), recvbuf, 0);
+}
+
+}  // namespace nmx::mpi

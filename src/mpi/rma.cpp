@@ -1,0 +1,142 @@
+#include "mpi/rma.hpp"
+
+#include <cstring>
+
+namespace nmx::mpi {
+
+namespace {
+constexpr int kTagOp = 100;          // put / accumulate / get-request messages
+constexpr int kTagReplyBase = 1000;  // + per-epoch get index
+}  // namespace
+
+Window::Window(Comm& comm, void* base, std::size_t size)
+    : comm_(comm), base_(static_cast<std::byte*>(base)), size_(size) {
+  NMX_ASSERT(base_ != nullptr || size_ == 0);
+  comm_.barrier();  // window creation is collective
+}
+
+void Window::put(const void* src, std::size_t len, int target, std::size_t target_offset) {
+  NMX_ASSERT(target >= 0 && target < comm_.size());
+  PendingPut p;
+  p.target = target;
+  p.op = Op::Put;
+  p.offset = target_offset;
+  p.data.resize(len);
+  if (len > 0) std::memcpy(p.data.data(), src, len);
+  puts_.push_back(std::move(p));
+}
+
+void Window::accumulate(const double* src, std::size_t count, int target,
+                        std::size_t target_offset) {
+  NMX_ASSERT(target >= 0 && target < comm_.size());
+  PendingPut p;
+  p.target = target;
+  p.op = Op::Acc;
+  p.offset = target_offset;
+  p.data.resize(count * sizeof(double));
+  if (count > 0) std::memcpy(p.data.data(), src, p.data.size());
+  puts_.push_back(std::move(p));
+}
+
+void Window::get(void* dst, std::size_t len, int target, std::size_t target_offset) {
+  NMX_ASSERT(target >= 0 && target < comm_.size());
+  gets_.push_back(PendingGet{target, target_offset, static_cast<std::byte*>(dst), len});
+}
+
+void Window::apply(const WireHdr& hdr, const std::byte* payload) {
+  NMX_ASSERT_MSG(hdr.offset + hdr.len <= size_, "RMA operation outside the window");
+  if (hdr.op == Op::Put) {
+    if (hdr.len > 0) std::memcpy(base_ + hdr.offset, payload, hdr.len);
+  } else {
+    NMX_ASSERT(hdr.op == Op::Acc);
+    NMX_ASSERT(hdr.len % sizeof(double) == 0);
+    const auto* in = reinterpret_cast<const double*>(payload);
+    auto* out = reinterpret_cast<double*>(base_ + hdr.offset);
+    for (std::size_t i = 0; i < hdr.len / sizeof(double); ++i) out[i] += in[i];
+  }
+}
+
+void Window::fence() {
+  const int P = comm_.size();
+  const int me = comm_.rank();
+
+  // Operations on our own window short-circuit locally.
+  std::vector<std::uint32_t> to_send(static_cast<std::size_t>(P), 0);
+  for (const PendingPut& p : puts_) {
+    if (p.target == me) {
+      WireHdr h{p.op, p.offset, p.data.size(), 0};
+      apply(h, p.data.data());
+    } else {
+      ++to_send[static_cast<std::size_t>(p.target)];
+    }
+  }
+  for (const PendingGet& g : gets_) {
+    if (g.target == me) {
+      NMX_ASSERT(g.offset + g.len <= size_);
+      if (g.len > 0) std::memcpy(g.dst, base_ + g.offset, g.len);
+    } else {
+      ++to_send[static_cast<std::size_t>(g.target)];
+    }
+  }
+
+  // 1. Every rank learns how many operation messages to expect from whom.
+  std::vector<std::uint32_t> expected(static_cast<std::size_t>(P), 0);
+  comm_.alltoall(to_send.data(), sizeof(std::uint32_t), expected.data());
+
+  // 2. Ship the recorded operations and post reply receives for gets.
+  std::vector<Request> pending;
+  std::vector<std::vector<std::byte>> bufs;  // keep wire buffers alive
+  bufs.reserve(puts_.size() + gets_.size());
+  for (const PendingPut& p : puts_) {
+    if (p.target == me) continue;
+    std::vector<std::byte> wire(sizeof(WireHdr) + p.data.size());
+    WireHdr h{p.op, p.offset, p.data.size(), 0};
+    std::memcpy(wire.data(), &h, sizeof(h));
+    if (!p.data.empty()) std::memcpy(wire.data() + sizeof(h), p.data.data(), p.data.size());
+    bufs.push_back(std::move(wire));
+    pending.push_back(comm_.isend_ctx(bufs.back().data(), bufs.back().size(), p.target, kTagOp,
+                                      Comm::kRmaContext));
+  }
+  int reply_idx = 0;
+  for (const PendingGet& g : gets_) {
+    if (g.target == me) continue;
+    const int reply_tag = kTagReplyBase + reply_idx++;
+    std::vector<std::byte> wire(sizeof(WireHdr));
+    WireHdr h{Op::GetReq, g.offset, g.len, reply_tag};
+    std::memcpy(wire.data(), &h, sizeof(h));
+    bufs.push_back(std::move(wire));
+    pending.push_back(comm_.isend_ctx(bufs.back().data(), bufs.back().size(), g.target, kTagOp,
+                                      Comm::kRmaContext));
+    pending.push_back(comm_.irecv_ctx(g.dst, g.len, g.target, reply_tag, Comm::kRmaContext));
+  }
+
+  // 3. Service incoming operations. Every peer's sends are already in
+  //    flight, so blocking receives here cannot cycle.
+  std::size_t incoming = 0;
+  for (std::uint32_t e : expected) incoming += e;
+  std::vector<std::byte> scratch(sizeof(WireHdr) + size_);
+  std::vector<std::vector<std::byte>> replies;
+  for (std::size_t i = 0; i < incoming; ++i) {
+    Request r = comm_.irecv_ctx(scratch.data(), scratch.size(), ANY_SOURCE, kTagOp,
+                                Comm::kRmaContext);
+    const Status st = comm_.wait(r);
+    WireHdr h;
+    std::memcpy(&h, scratch.data(), sizeof(h));
+    if (h.op == Op::GetReq) {
+      NMX_ASSERT_MSG(h.offset + h.len <= size_, "RMA get outside the window");
+      replies.emplace_back(base_ + h.offset, base_ + h.offset + h.len);
+      pending.push_back(comm_.isend_ctx(replies.back().data(), replies.back().size(), st.source,
+                                        h.reply_tag, Comm::kRmaContext));
+    } else {
+      apply(h, scratch.data() + sizeof(WireHdr));
+    }
+  }
+
+  // 4. Drain and close the epoch.
+  comm_.waitall(pending);
+  comm_.barrier();
+  puts_.clear();
+  gets_.clear();
+}
+
+}  // namespace nmx::mpi

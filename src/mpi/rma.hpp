@@ -1,0 +1,77 @@
+// MPI-2 one-sided communication — the paper's second future-work item:
+// "Another challenge would be to efficiently support MPI2 RMA operations
+// without compromising the optimizations implemented" (§5).
+//
+// Active-target (fence) synchronization implemented over the two-sided
+// transports, the way MPICH2's ch3 device did it: origins record put/get/
+// accumulate operations during the epoch; MPI_Win_fence exchanges per-pair
+// operation counts (alltoall), ships every recorded operation as ordinary
+// messages on a reserved context, services incoming operations, and closes
+// with a barrier. Because all data movement rides the normal stack, the
+// optimizations under study (strategies, multirail, PIOMan) apply to RMA
+// traffic for free — which is exactly the paper's hope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace nmx::mpi {
+
+class Window {
+ public:
+  /// Collective over `comm`: every rank exposes [base, base+size).
+  Window(Comm& comm, void* base, std::size_t size);
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// MPI_Put: write `len` bytes into `target`'s window at `target_offset`.
+  /// Completes at the closing fence.
+  void put(const void* src, std::size_t len, int target, std::size_t target_offset);
+
+  /// MPI_Get: read `len` bytes from `target`'s window at `target_offset`
+  /// into `dst`. The data is valid after the closing fence.
+  void get(void* dst, std::size_t len, int target, std::size_t target_offset);
+
+  /// MPI_Accumulate(MPI_SUM) on doubles.
+  void accumulate(const double* src, std::size_t count, int target, std::size_t target_offset);
+
+  /// MPI_Win_fence: collective; completes every operation issued by any
+  /// rank during the epoch, at the origin and at the target.
+  void fence();
+
+ private:
+  enum class Op : std::uint32_t { Put, Acc, GetReq };
+  struct WireHdr {
+    Op op = Op::Put;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::int32_t reply_tag = 0;
+  };
+  struct PendingPut {  // put or accumulate
+    int target;
+    Op op;
+    std::uint64_t offset;
+    std::vector<std::byte> data;
+  };
+  struct PendingGet {
+    int target;
+    std::uint64_t offset;
+    std::byte* dst;
+    std::uint64_t len;
+  };
+
+  void apply(const WireHdr& hdr, const std::byte* payload);
+
+  Comm& comm_;
+  std::byte* base_;
+  std::size_t size_;
+  std::vector<PendingPut> puts_;
+  std::vector<PendingGet> gets_;
+};
+
+}  // namespace nmx::mpi

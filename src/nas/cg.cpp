@@ -1,0 +1,101 @@
+// CG — conjugate gradient with an irregular sparse matrix, 2D-decomposed as
+// in NPB: every matrix-vector product reduces partial results across the
+// processor row (log2 steps of n/npcols doubles) and exchanges the result
+// with a transpose partner. Latency- and medium-message-sensitive.
+#include <cmath>
+
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+
+namespace nmx::nas {
+
+namespace {
+
+struct CgParams {
+  std::size_t n;
+  int niter;
+  int matvecs_per_iter;
+  double serial_seconds;
+};
+
+CgParams cg_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::C: return {150000, 75, 26, 2500.0};
+    case NasClass::B: return {75000, 75, 26, 625.0};
+    case NasClass::A: return {14000, 15, 26, 156.0};
+    case NasClass::S: return {1400, 15, 26, 0.125};
+  }
+  NMX_FAIL("bad class");
+}
+
+class CgKernel final : public NasKernel {
+ public:
+  std::string name() const override { return "CG"; }
+
+  double run(mpi::Comm& c, const NasConfig& cfg) override {
+    const CgParams p = cg_params(cfg.cls);
+    const Grid2D g = Grid2D::make(c.rank(), c.size());
+    const int row_size = g.px;  // ranks sharing a processor row
+
+    // Row-reduction exchange: n/npcols doubles per step.
+    const std::size_t seg_bytes = p.n / static_cast<std::size_t>(row_size) * sizeof(double);
+    std::vector<std::byte> seg_out(std::max<std::size_t>(seg_bytes, 16));
+    std::vector<std::byte> seg_in(seg_out.size());
+    // Transpose exchange: the rank's own share of the vector.
+    const std::size_t tr_bytes =
+        std::max<std::size_t>(p.n * sizeof(double) / static_cast<std::size_t>(c.size()), 16);
+    std::vector<std::byte> tr_out(tr_bytes), tr_in(tr_bytes);
+
+    const double matvec_compute = p.serial_seconds /
+                                  (static_cast<double>(p.niter) * p.matvecs_per_iter * c.size()) *
+                                  membw_dilation(c, 0.15);
+    // Transpose exchange partner: an involution (partner(partner(r)) == r)
+    // so the pairwise sendrecv cannot deadlock; ranks that map to themselves
+    // keep their segment locally.
+    const int transpose_partner = (c.size() - c.rank()) % c.size();
+
+    const bool row_pow2 = (row_size & (row_size - 1)) == 0;
+
+    return timed_loop(c, p.niter, cfg.iter_fraction, [&](int iter) {
+      for (int mv = 0; mv < p.matvecs_per_iter; ++mv) {
+        c.compute(matvec_compute);
+        // Reduce partial products across the processor row.
+        if (row_pow2) {
+          for (int bit = 1; bit < row_size; bit <<= 1) {
+            const int partner = g.rank_of(g.x ^ bit, g.y);
+            stamp(seg_out, c.rank(), mv);
+            c.sendrecv(seg_out.data(), seg_bytes, partner, 300 + mv % 8, seg_in.data(),
+                       seg_in.size(), partner, 300 + mv % 8);
+            check_stamp(seg_in, partner, mv, cfg.validate);
+          }
+        } else {
+          for (int s = 1; s < row_size; ++s) {
+            const int to = g.rank_of((g.x + s) % row_size, g.y);
+            const int from = g.rank_of((g.x - s + row_size) % row_size, g.y);
+            c.sendrecv(seg_out.data(), seg_bytes, to, 300 + mv % 8, seg_in.data(), seg_in.size(),
+                       from, 300 + mv % 8);
+          }
+        }
+        // Transpose exchange of the reduced segment.
+        if (transpose_partner != c.rank()) {
+          stamp(tr_out, c.rank(), mv);
+          c.sendrecv(tr_out.data(), tr_bytes, transpose_partner, 350, tr_in.data(), tr_in.size(),
+                     transpose_partner, 350);
+          check_stamp(tr_in, transpose_partner, mv, cfg.validate);
+        }
+      }
+      // Per-iteration scalar reductions (rho, residual norm).
+      double rho = 1.0 + iter;
+      double grho = c.allreduce_one(rho, mpi::ReduceOp::Sum);
+      if (cfg.validate) {
+        NMX_ASSERT_MSG(grho == (1.0 + iter) * c.size(), "CG rho reduction mismatch");
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NasKernel> make_cg() { return std::make_unique<CgKernel>(); }
+
+}  // namespace nmx::nas

@@ -1,0 +1,54 @@
+// EP — embarrassingly parallel: random-number pair generation with almost no
+// communication; only three reductions at the end (sx, sy and the ten
+// annulus counts). The kernel every stack should run at the same speed —
+// unless its progression machinery steals compute cycles, which is exactly
+// where Open MPI's lag shows in Figure 8.
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+
+namespace nmx::nas {
+
+namespace {
+
+class EpKernel final : public NasKernel {
+ public:
+  std::string name() const override { return "EP"; }
+
+  double run(mpi::Comm& c, const NasConfig& cfg) override {
+    // Class C ~ 2^32 pairs; calibrated serial time (see DESIGN.md §4).
+    const double serial = 1050.0 / class_scale(cfg.cls);
+    const int chunks = 16;  // the k-loop over batches of random pairs
+
+    c.barrier();
+    const double t0 = c.wtime();
+    for (int k = 0; k < chunks; ++k) {
+      c.compute(serial / chunks / c.size());
+    }
+    // Final reductions, as in NPB: sums of the accepted coordinates and the
+    // per-annulus counts.
+    double sx = 0.5 * (c.rank() + 1), sy = -0.25 * (c.rank() + 1);
+    double gsx = 0, gsy = 0;
+    c.allreduce(&sx, &gsx, 1, mpi::ReduceOp::Sum);
+    c.allreduce(&sy, &gsy, 1, mpi::ReduceOp::Sum);
+    long q[10], gq[10];
+    for (int i = 0; i < 10; ++i) q[i] = c.rank() + i;
+    c.allreduce(q, gq, 10, mpi::ReduceOp::Sum);
+    c.barrier();
+
+    if (cfg.validate) {
+      const double n = c.size();
+      NMX_ASSERT_MSG(gsx == 0.5 * n * (n + 1) / 2, "EP sx reduction mismatch");
+      NMX_ASSERT_MSG(gsy == -0.25 * n * (n + 1) / 2, "EP sy reduction mismatch");
+      long expect0 = 0;
+      for (int p = 0; p < c.size(); ++p) expect0 += p;
+      NMX_ASSERT_MSG(gq[0] == expect0, "EP count reduction mismatch");
+    }
+    return c.wtime() - t0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NasKernel> make_ep() { return std::make_unique<EpKernel>(); }
+
+}  // namespace nmx::nas

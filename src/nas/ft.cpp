@@ -1,0 +1,76 @@
+// FT — 3D FFT: each iteration transposes the (complex) grid with an
+// all-to-all of N*16/P^2 bytes per pair, the most bandwidth-hungry pattern
+// in the suite. The transpose is done as the pairwise exchange MPI
+// implementations use, with rotating partners — message sizes and ordering
+// are exact; payload buffers are reused per pair to keep the simulator's
+// memory footprint sane (documented in DESIGN.md).
+#include <algorithm>
+
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+
+namespace nmx::nas {
+
+namespace {
+
+struct FtParams {
+  std::size_t nx, ny, nz;
+  int niter;
+  double serial_seconds;
+};
+
+FtParams ft_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::C: return {512, 512, 512, 20, 2200.0};
+    case NasClass::B: return {512, 256, 256, 20, 550.0};
+    case NasClass::A: return {256, 256, 128, 6, 137.0};
+    case NasClass::S: return {64, 64, 64, 6, 0.05};
+  }
+  NMX_FAIL("bad class");
+}
+
+class FtKernel final : public NasKernel {
+ public:
+  std::string name() const override { return "FT"; }
+
+  double run(mpi::Comm& c, const NasConfig& cfg) override {
+    const FtParams p = ft_params(cfg.cls);
+    const std::size_t total = p.nx * p.ny * p.nz;
+    const std::size_t complex_bytes = 16;
+    const std::size_t procs = static_cast<std::size_t>(c.size());
+    const std::size_t block = std::max<std::size_t>(total * complex_bytes / (procs * procs), 16);
+
+    std::vector<std::byte> out(block), in(block);
+    const double per_iter_compute =
+        p.serial_seconds / p.niter / c.size() * membw_dilation(c, 0.15);
+
+    return timed_loop(c, p.niter, cfg.iter_fraction, [&](int iter) {
+      // evolve + local FFTs
+      c.compute(per_iter_compute);
+      // global transpose: pairwise exchange, P-1 rounds
+      for (int k = 1; k < c.size(); ++k) {
+        const int dst = (c.rank() + k) % c.size();
+        const int src = (c.rank() - k + c.size()) % c.size();
+        stamp(out, c.rank(), iter);
+        c.sendrecv(out.data(), block, dst, 500 + (k & 7), in.data(), in.size(), src,
+                   500 + (k & 7));
+        check_stamp(in, src, iter, cfg.validate);
+      }
+      // checksum reduction
+      double local[2] = {1.0 * c.rank(), -1.0 * c.rank()};
+      double global[2];
+      c.allreduce(local, global, 2, mpi::ReduceOp::Sum);
+      if (cfg.validate) {
+        double expect = 0;
+        for (int r = 0; r < c.size(); ++r) expect += r;
+        NMX_ASSERT_MSG(global[0] == expect, "FT checksum reduction mismatch");
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NasKernel> make_ft() { return std::make_unique<FtKernel>(); }
+
+}  // namespace nmx::nas

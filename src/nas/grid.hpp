@@ -1,0 +1,78 @@
+// Process-grid decompositions used by the NAS kernels.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nmx::nas {
+
+/// Near-square 2D factorization of P: px <= py, px the largest divisor of P
+/// not exceeding sqrt(P).
+struct Grid2D {
+  int px = 1, py = 1;  ///< grid dimensions (px * py == P)
+  int x = 0, y = 0;    ///< this rank's coordinates (row-major: rank = y*px + x)
+
+  static Grid2D make(int rank, int procs) {
+    Grid2D g;
+    int best = 1;
+    for (int d = 1; d * d <= procs; ++d) {
+      if (procs % d == 0) best = d;
+    }
+    g.px = best;
+    g.py = procs / best;
+    g.x = rank % g.px;
+    g.y = rank / g.px;
+    return g;
+  }
+
+  int rank_of(int x, int y) const { return y * px + x; }
+  int west() const { return x > 0 ? rank_of(x - 1, y) : -1; }
+  int east() const { return x < px - 1 ? rank_of(x + 1, y) : -1; }
+  int north() const { return y > 0 ? rank_of(x, y - 1) : -1; }
+  int south() const { return y < py - 1 ? rank_of(x, y + 1) : -1; }
+};
+
+/// Near-cubic 3D factorization (dims non-increasing divisors of P).
+struct Grid3D {
+  std::array<int, 3> dims{1, 1, 1};
+  std::array<int, 3> coord{0, 0, 0};
+
+  static Grid3D make(int rank, int procs) {
+    Grid3D g;
+    int rest = procs;
+    for (int i = 0; i < 3; ++i) {
+      const int target = static_cast<int>(std::round(std::pow(rest, 1.0 / (3 - i))));
+      int best = 1;
+      for (int d = 1; d <= rest; ++d) {
+        if (rest % d == 0 && std::abs(d - target) < std::abs(best - target)) best = d;
+      }
+      g.dims[static_cast<std::size_t>(i)] = best;
+      rest /= best;
+    }
+    int r = rank;
+    for (int i = 0; i < 3; ++i) {
+      g.coord[static_cast<std::size_t>(i)] = r % g.dims[static_cast<std::size_t>(i)];
+      r /= g.dims[static_cast<std::size_t>(i)];
+    }
+    return g;
+  }
+
+  int rank_of(std::array<int, 3> c) const {
+    return (c[2] * dims[1] + c[1]) * dims[0] + c[0];
+  }
+
+  /// Neighbor along `dim` in direction `dir` (+1/-1), or -1 at the boundary.
+  int neighbor(int dim, int dir) const {
+    auto c = coord;
+    c[static_cast<std::size_t>(dim)] += dir;
+    if (c[static_cast<std::size_t>(dim)] < 0 ||
+        c[static_cast<std::size_t>(dim)] >= dims[static_cast<std::size_t>(dim)]) {
+      return -1;
+    }
+    return rank_of(c);
+  }
+};
+
+}  // namespace nmx::nas

@@ -1,0 +1,110 @@
+// IS — integer bucket sort. The paper excluded it ("IS needs datatypes
+// support and MPICH2-NewMadeleine does not handle yet this functionality",
+// §4.2); with the datatype engine and alltoallv in place it runs here — the
+// first of the paper's future-work items closed out.
+//
+// Pattern per iteration (NPB 3 IS): local ranking, an allreduce of the
+// bucket-size table, then an all-to-all-v redistributing the keys with
+// deliberately uneven bucket sizes.
+#include <algorithm>
+
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+#include "sim/rng.hpp"
+
+namespace nmx::nas {
+
+namespace {
+
+struct IsParams {
+  std::size_t total_keys;
+  int niter;
+  double serial_seconds;
+};
+
+IsParams is_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::C: return {std::size_t{1} << 27, 10, 280.0};
+    case NasClass::B: return {std::size_t{1} << 25, 10, 70.0};
+    case NasClass::A: return {std::size_t{1} << 23, 10, 17.5};
+    case NasClass::S: return {std::size_t{1} << 16, 10, 0.01};
+  }
+  NMX_FAIL("bad class");
+}
+
+class IsKernel final : public NasKernel {
+ public:
+  std::string name() const override { return "IS"; }
+
+  double run(mpi::Comm& c, const NasConfig& cfg) override {
+    const IsParams p = is_params(cfg.cls);
+    const int P = c.size();
+    const std::size_t keys_per_rank = p.total_keys / static_cast<std::size_t>(P);
+    const std::size_t key_bytes = 4;
+    const std::size_t local_bytes = keys_per_rank * key_bytes;
+
+    std::vector<std::byte> sendbuf(local_bytes), recvbuf(2 * local_bytes);
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(P)),
+        sdispls(static_cast<std::size_t>(P)), rcounts(static_cast<std::size_t>(P)),
+        rdispls(static_cast<std::size_t>(P));
+
+    const double per_iter_compute =
+        p.serial_seconds / p.niter / P * membw_dilation(c, 0.30);
+
+    return timed_loop(c, p.niter, cfg.iter_fraction, [&](int iter) {
+      // local ranking
+      c.compute(per_iter_compute);
+
+      // Bucket sizes: uneven but deterministic and consistent across ranks
+      // (every rank derives every rank's split with the same generator).
+      std::vector<std::vector<std::size_t>> counts(static_cast<std::size_t>(P));
+      for (int src = 0; src < P; ++src) {
+        sim::Xoshiro256 rng(static_cast<std::uint64_t>(src) * 1315423911u +
+                            static_cast<std::uint64_t>(iter + 1));
+        auto& row = counts[static_cast<std::size_t>(src)];
+        row.resize(static_cast<std::size_t>(P));
+        std::size_t left = local_bytes;
+        for (int d = 0; d < P - 1; ++d) {
+          const std::size_t avg = left / static_cast<std::size_t>(P - d);
+          const std::size_t v = std::min(left, avg / 2 + rng.below(std::max<std::uint64_t>(avg, 1)));
+          row[static_cast<std::size_t>(d)] = v;
+          left -= v;
+        }
+        row[static_cast<std::size_t>(P - 1)] = left;
+      }
+
+      // the bucket-size table is agreed on with an allreduce, as in NPB
+      std::vector<long> table(static_cast<std::size_t>(P)), gtable(static_cast<std::size_t>(P));
+      for (int d = 0; d < P; ++d) {
+        table[static_cast<std::size_t>(d)] =
+            static_cast<long>(counts[static_cast<std::size_t>(c.rank())][static_cast<std::size_t>(d)]);
+      }
+      c.allreduce(table.data(), gtable.data(), table.size(), mpi::ReduceOp::Sum);
+
+      // key redistribution
+      std::size_t off = 0;
+      for (int d = 0; d < P; ++d) {
+        scounts[static_cast<std::size_t>(d)] =
+            counts[static_cast<std::size_t>(c.rank())][static_cast<std::size_t>(d)];
+        sdispls[static_cast<std::size_t>(d)] = off;
+        off += scounts[static_cast<std::size_t>(d)];
+      }
+      off = 0;
+      for (int s = 0; s < P; ++s) {
+        rcounts[static_cast<std::size_t>(s)] =
+            counts[static_cast<std::size_t>(s)][static_cast<std::size_t>(c.rank())];
+        rdispls[static_cast<std::size_t>(s)] = off;
+        off += rcounts[static_cast<std::size_t>(s)];
+      }
+      NMX_ASSERT_MSG(off <= recvbuf.size(), "IS receive buffer overflow");
+      c.alltoallv(sendbuf.data(), scounts.data(), sdispls.data(), recvbuf.data(), rcounts.data(),
+                  rdispls.data());
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NasKernel> make_is() { return std::make_unique<IsKernel>(); }
+
+}  // namespace nmx::nas

@@ -1,0 +1,117 @@
+// MG — multigrid V-cycles on a 3D periodic grid: halo exchanges with the six
+// neighbors at every level, so message sizes span from hundreds of KB at the
+// fine level down to a few bytes at the coarse ones. Exercises both
+// bandwidth and small-message latency in one kernel.
+#include <algorithm>
+
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+
+namespace nmx::nas {
+
+namespace {
+
+struct MgParams {
+  std::size_t n;  ///< grid edge (n^3 points)
+  int niter;
+  double serial_seconds;
+};
+
+MgParams mg_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::C: return {512, 20, 1050.0};
+    case NasClass::B: return {256, 20, 262.0};
+    case NasClass::A: return {256, 4, 66.0};
+    case NasClass::S: return {32, 4, 0.05};
+  }
+  NMX_FAIL("bad class");
+}
+
+class MgKernel final : public NasKernel {
+ public:
+  std::string name() const override { return "MG"; }
+
+  double run(mpi::Comm& c, const NasConfig& cfg) override {
+    const MgParams p = mg_params(cfg.cls);
+    const Grid3D g = Grid3D::make(c.rank(), c.size());
+
+    // Levels: n, n/2, ..., 4.
+    std::vector<std::size_t> levels;
+    for (std::size_t m = p.n; m >= 4; m /= 2) levels.push_back(m);
+
+    // Compute weight per level ~ points per level; normalize so one V-cycle
+    // (down + up) costs serial/niter in total across ranks.
+    double weight_sum = 0;
+    for (std::size_t m : levels) weight_sum += 2.0 * static_cast<double>(m) * m * m;
+    const double unit =
+        p.serial_seconds / p.niter / weight_sum / c.size() * membw_dilation(c, 0.25);
+
+    // Pre-size halo buffers per level per dimension.
+    struct Halo {
+      std::size_t bytes;
+      std::vector<std::byte> out, in;
+    };
+    std::vector<std::array<Halo, 3>> halos(levels.size());
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const std::size_t m = levels[l];
+      for (int d = 0; d < 3; ++d) {
+        // Face normal to dimension d: product of the local extents of the
+        // two other dimensions.
+        std::size_t face = sizeof(double);
+        for (int o = 0; o < 3; ++o) {
+          if (o == d) continue;
+          face *= std::max<std::size_t>(m / static_cast<std::size_t>(g.dims[static_cast<std::size_t>(o)]), 1);
+        }
+        // Clamp to the 16-byte validation stamp: coarse-level faces can
+        // shrink below it.
+        face = std::max<std::size_t>(face, 16);
+        halos[l][static_cast<std::size_t>(d)].bytes = face;
+        halos[l][static_cast<std::size_t>(d)].out.resize(face);
+        halos[l][static_cast<std::size_t>(d)].in.resize(face);
+      }
+    }
+
+    auto periodic = [&](int dim, int dir) {
+      auto coord = g.coord;
+      const auto ud = static_cast<std::size_t>(dim);
+      coord[ud] = (coord[ud] + dir + g.dims[ud]) % g.dims[ud];
+      return g.rank_of(coord);
+    };
+
+    auto exchange_level = [&](std::size_t l, int step) {
+      for (int d = 0; d < 3; ++d) {
+        if (g.dims[static_cast<std::size_t>(d)] == 1) continue;  // no remote neighbor
+        Halo& h = halos[l][static_cast<std::size_t>(d)];
+        const int plus = periodic(d, +1);
+        const int minus = periodic(d, -1);
+        stamp(h.out, c.rank(), step);
+        c.sendrecv(h.out.data(), h.bytes, plus, 400 + d, h.in.data(), h.in.size(), minus,
+                   400 + d);
+        check_stamp(h.in, minus, step, cfg.validate && plus != c.rank());
+        c.sendrecv(h.out.data(), h.bytes, minus, 410 + d, h.in.data(), h.in.size(), plus,
+                   410 + d);
+      }
+    };
+
+    return timed_loop(c, p.niter, cfg.iter_fraction, [&](int iter) {
+      // Down-sweep: restrict to coarser grids.
+      for (std::size_t l = 0; l < levels.size(); ++l) {
+        const double m = static_cast<double>(levels[l]);
+        c.compute(unit * m * m * m);
+        exchange_level(l, iter);
+      }
+      // Up-sweep: prolongate back to the fine grid.
+      for (std::size_t l = levels.size(); l-- > 0;) {
+        const double m = static_cast<double>(levels[l]);
+        c.compute(unit * m * m * m);
+        exchange_level(l, iter);
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NasKernel> make_mg() { return std::make_unique<MgKernel>(); }
+
+}  // namespace nmx::nas

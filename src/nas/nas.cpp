@@ -1,0 +1,107 @@
+#include "nas/nas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace nmx::nas {
+
+char to_char(NasClass cls) {
+  switch (cls) {
+    case NasClass::S: return 'S';
+    case NasClass::A: return 'A';
+    case NasClass::B: return 'B';
+    case NasClass::C: return 'C';
+  }
+  return '?';
+}
+
+double class_scale(NasClass cls) {
+  switch (cls) {
+    case NasClass::C: return 1.0;
+    case NasClass::B: return 4.0;
+    case NasClass::A: return 16.0;
+    case NasClass::S: return 20000.0;
+  }
+  return 1.0;
+}
+
+double timed_loop(mpi::Comm& c, int full_iters, double fraction,
+                  const std::function<void(int)>& iter_body) {
+  const int run = std::clamp(static_cast<int>(std::lround(full_iters * fraction)), 2, full_iters);
+  iter_body(-1);  // warmup (registration caches, route warm-up)
+  c.barrier();
+  const double t0 = c.wtime();
+  for (int i = 0; i < run; ++i) iter_body(i);
+  c.barrier();
+  const double t = c.wtime() - t0;
+  return t * static_cast<double>(full_iters) / run;
+}
+
+void stamp(std::vector<std::byte>& buf, int sender, int step) {
+  if (buf.size() < 2 * sizeof(double)) return;
+  const double a = sender;
+  const double b = step;
+  std::memcpy(buf.data(), &a, sizeof(double));
+  std::memcpy(buf.data() + sizeof(double), &b, sizeof(double));
+}
+
+void check_stamp(const std::vector<std::byte>& buf, int sender, int step, bool enabled) {
+  if (!enabled || buf.size() < 2 * sizeof(double)) return;
+  double a = 0, b = 0;
+  std::memcpy(&a, buf.data(), sizeof(double));
+  std::memcpy(&b, buf.data() + sizeof(double), sizeof(double));
+  NMX_ASSERT_MSG(static_cast<int>(a) == sender && static_cast<int>(b) == step,
+                 "NAS message stamp mismatch: wrong sender or iteration");
+}
+
+double membw_dilation(const mpi::Comm& c, double intensity) {
+  const int local = c.local_ranks();
+  if (local <= 2) return 1.0;
+  return 1.0 + intensity * static_cast<double>(local - 2) / static_cast<double>(local);
+}
+
+// Kernel factories are defined in their own translation units.
+std::unique_ptr<NasKernel> make_ep();
+std::unique_ptr<NasKernel> make_cg();
+std::unique_ptr<NasKernel> make_mg();
+std::unique_ptr<NasKernel> make_ft();
+std::unique_ptr<NasKernel> make_lu();
+std::unique_ptr<NasKernel> make_bt();
+std::unique_ptr<NasKernel> make_sp();
+std::unique_ptr<NasKernel> make_is();
+
+std::unique_ptr<NasKernel> make_kernel(const std::string& name) {
+  if (name == "EP") return make_ep();
+  if (name == "CG") return make_cg();
+  if (name == "MG") return make_mg();
+  if (name == "FT") return make_ft();
+  if (name == "LU") return make_lu();
+  if (name == "BT") return make_bt();
+  if (name == "SP") return make_sp();
+  if (name == "IS") return make_is();  // future-work extension (see is.cpp)
+  NMX_FAIL("unknown NAS kernel: " + name);
+}
+
+std::vector<std::string> all_kernels() {
+  return {"BT", "CG", "EP", "FT", "SP", "MG", "LU"};  // the paper's x-axis order
+}
+
+NasResult run_nas(mpi::Cluster& cluster, const std::string& kernel, const NasConfig& cfg) {
+  auto k = make_kernel(kernel);
+  NasResult res;
+  res.kernel = kernel;
+  res.cls = cfg.cls;
+  res.procs = cluster.config().procs;
+  if (k->requires_square()) {
+    const int r = static_cast<int>(std::lround(std::sqrt(res.procs)));
+    NMX_ASSERT_MSG(r * r == res.procs, kernel + " requires a square process count");
+  }
+  cluster.run([&](mpi::Comm& c) {
+    const double t = k->run(c, cfg);
+    if (c.rank() == 0) res.seconds = t;
+  });
+  return res;
+}
+
+}  // namespace nmx::nas

@@ -1,0 +1,81 @@
+// Mini-NAS parallel benchmarks (§4.2 / Figure 8).
+//
+// Each kernel reproduces the *communication pattern and per-class message
+// sizes* of its NPB counterpart — halo exchanges, wavefront pencils,
+// transpose all-to-alls — moving real bytes through whichever MPI stack the
+// cluster was built with. Computation is virtual time (Comm::compute) from a
+// per-kernel analytic model calibrated so class C absolute times land in
+// Figure 8's range; see DESIGN.md §3 for the substitution argument.
+//
+// IS is excluded, like the paper (the module lacked datatype support).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace nmx::nas {
+
+enum class NasClass { S, A, B, C };
+char to_char(NasClass cls);
+/// Serial-work divisor relative to class C (problem sizes shrink ~4x/class).
+double class_scale(NasClass cls);
+
+struct NasConfig {
+  NasClass cls = NasClass::S;
+  /// Fraction of the full iteration count actually simulated; the timed
+  /// loop is steady-state, so the result is extrapolated linearly. 1.0 runs
+  /// everything (fine for small classes; reduce for class C benches).
+  double iter_fraction = 1.0;
+  /// Stamp messages with (sender, step) and verify on receipt.
+  bool validate = true;
+};
+
+struct NasResult {
+  std::string kernel;
+  NasClass cls = NasClass::S;
+  int procs = 0;
+  double seconds = 0;  ///< extrapolated full virtual execution time
+};
+
+class NasKernel {
+ public:
+  virtual ~NasKernel() = default;
+  virtual std::string name() const = 0;
+  /// BT and SP need a square process count (the paper runs them on 9/36).
+  virtual bool requires_square() const { return false; }
+  /// Runs on every rank; the rank-0 return value is the result.
+  virtual double run(mpi::Comm& c, const NasConfig& cfg) = 0;
+};
+
+/// Factory: "EP", "CG", "MG", "FT", "LU", "BT", "SP".
+std::unique_ptr<NasKernel> make_kernel(const std::string& name);
+/// Kernel names in the paper's plotting order.
+std::vector<std::string> all_kernels();
+
+/// Run one kernel on an existing cluster and return the rank-0 result.
+NasResult run_nas(mpi::Cluster& cluster, const std::string& kernel, const NasConfig& cfg);
+
+// --- shared helpers for kernel implementations ------------------------------
+
+/// Timed steady-state loop with one warmup iteration; returns the
+/// extrapolated full-run seconds.
+double timed_loop(mpi::Comm& c, int full_iters, double fraction,
+                  const std::function<void(int)>& iter_body);
+
+/// Stamp the head of a message with (sender, step) for validation.
+void stamp(std::vector<std::byte>& buf, int sender, int step);
+/// Verify a stamp written by `stamp` (no-op for buffers < 16 bytes).
+void check_stamp(const std::vector<std::byte>& buf, int sender, int step, bool enabled);
+
+/// Shared-memory-bandwidth contention: when several ranks share a node, the
+/// memory-bound fraction of a kernel's compute dilates. `intensity` in [0,1]
+/// is how memory-bandwidth-bound the kernel is (SP is the most memory-bound
+/// of the NPB kernels — the mechanism behind the across-the-board SP dip at
+/// 36 processes on 10 nodes in Figure 8c). Up to two ranks per node run at
+/// full speed (the node has two memory controllers).
+double membw_dilation(const mpi::Comm& c, double intensity);
+
+}  // namespace nmx::nas

@@ -1,0 +1,41 @@
+#include "nemesis/lfqueue.hpp"
+
+namespace nmx::nemesis {
+
+void LockFreeQueue::enqueue(CellPool& pool, CellIndex cell) {
+  NMX_ASSERT(cell != kNilCell);
+  pool.link(cell).next.store(kNilCell, std::memory_order_relaxed);
+  // Swap ourselves in as the new tail; whoever was there links to us.
+  const CellIndex prev = tail_.exchange(cell, std::memory_order_acq_rel);
+  if (prev == kNilCell) {
+    head_.store(cell, std::memory_order_release);
+  } else {
+    pool.link(prev).next.store(cell, std::memory_order_release);
+  }
+}
+
+CellIndex LockFreeQueue::dequeue(CellPool& pool) {
+  const CellIndex cell = head_.load(std::memory_order_acquire);
+  if (cell == kNilCell) return kNilCell;
+
+  const CellIndex next = pool.link(cell).next.load(std::memory_order_acquire);
+  if (next != kNilCell) {
+    head_.store(next, std::memory_order_release);
+    return cell;
+  }
+
+  // `cell` looks like the last element. Try to swing tail to empty; if a
+  // producer raced us (tail moved on), wait for its link write to land.
+  head_.store(kNilCell, std::memory_order_release);
+  CellIndex expected = cell;
+  if (!tail_.compare_exchange_strong(expected, kNilCell, std::memory_order_acq_rel)) {
+    CellIndex n;
+    while ((n = pool.link(cell).next.load(std::memory_order_acquire)) == kNilCell) {
+      // producer is between its tail swap and next-pointer write
+    }
+    head_.store(n, std::memory_order_release);
+  }
+  return cell;
+}
+
+}  // namespace nmx::nemesis

@@ -1,0 +1,123 @@
+// Calibration constants for the simulated hardware and the per-stack software
+// overheads. Every value is annotated with the sentence of the paper it is
+// derived from (Mercier, Trahay, Buntinas, Brunet — "NewMadeleine: An
+// Efficient Support for High-Performance Networks in MPICH2", IPDPS 2009).
+//
+// The protocol *behaviour* (who sends what when) is implemented as real code
+// in src/nmad, src/ch3, src/nemesis, src/pioman and src/baseline; the numbers
+// here only set the speed of the simulated silicon and the measured fixed
+// costs the paper reports for each software layer.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace nmx::calib {
+
+// ---------------------------------------------------------------------------
+// Hardware: the two NICs of the point-to-point testbed (§4.1: one Myri-10G
+// NIC with MX, one ConnectX InfiniBand NIC with Verbs, per box).
+// ---------------------------------------------------------------------------
+
+// "very close to the hardware's raw performance (1.2µs, not shown)" — §4.1.1.
+inline constexpr Time kIbWireLatency = 1.1_us;
+inline constexpr Time kIbPerMessage = 0.1_us;  // DMA descriptor + doorbell
+// Fig 4b: MVAPICH2 (thin software on top of Verbs, registration cache warm)
+// peaks near 1400 MB/s on ConnectX DDR.
+inline constexpr Bandwidth kIbBandwidth = 1450_MBps;
+// Dynamic ibv_reg_mr cost: base syscall + per-page pinning. NewMadeleine
+// "registers dynamically and on-the-fly the needed memory" (§4.1.1), so it
+// pays this on every large transfer; the MVAPICH2-like baseline caches.
+inline constexpr Time kIbRegBase = 20.0_us;
+inline constexpr Time kIbRegPerPage = 0.15_us;
+inline constexpr std::size_t kPageSize = 4096;
+
+// Myri-10G with MX. Fig 5a: MPICH2-Nmad over MX sits ~0.7µs above the IB
+// curve; MX handles registration internally (folded into its bandwidth).
+inline constexpr Time kMxWireLatency = 1.9_us;
+inline constexpr Time kMxPerMessage = 0.1_us;
+inline constexpr Bandwidth kMxBandwidth = 1200_MBps;
+
+// Intra-node shared memory (Nemesis cells). Fig 6a: Nemesis latency ~0.3µs;
+// the copy in and out of the cell bounds small-message bandwidth.
+inline constexpr Time kShmLatency = 0.30_us;          // one-way, per cell
+inline constexpr Bandwidth kShmCopyBandwidth = 4096_MBps;  // each memcpy side
+inline constexpr std::size_t kNemesisCellPayload = 8_KiB;  // fixed-size cells (§2.1.1)
+
+// ---------------------------------------------------------------------------
+// Software layer costs (one-way, small message). §4.1.1 latency table:
+//   raw IB 1.2µs → NewMadeleine 1.8µs → MPICH2-Nmad 2.1µs (+0.3 any-source)
+//   MVAPICH2 1.5µs, Open MPI 1.6µs.
+// Each figure is split half send-side / half receive-side.
+// ---------------------------------------------------------------------------
+
+// "the latency is higher (2.1µs) ... compared to NewMadeleine (1.8µs)".
+inline constexpr Time kNmadSwSend = 0.30_us;  // generic layer, packet wrapper
+inline constexpr Time kNmadSwRecv = 0.30_us;  // matching + completion dispatch
+// "an overhead of 300 nanoseconds" for the CH3/netmod glue above NewMadeleine.
+inline constexpr Time kCh3SwSend = 0.15_us;
+inline constexpr Time kCh3SwRecv = 0.15_us;
+// "MPICH2-NewMadeleine's latency is affected by a 300 nanoseconds gap when
+// MPI_ANY_SOURCE is used. This gap remains constant" — §4.1.1. Cost of the
+// any-source management lists (Fig 3) on the receive path.
+inline constexpr Time kAnySourceOverhead = 0.30_us;
+
+// MVAPICH2-like: thin ADI3 device straight on Verbs (1.5µs total).
+inline constexpr Time kMvapichSwSend = 0.15_us;
+inline constexpr Time kMvapichSwRecv = 0.15_us;
+// Open MPI-like over IB (openib BTL + IB MTL, 1.6µs total).
+inline constexpr Time kOmpiIbSwSend = 0.20_us;
+inline constexpr Time kOmpiIbSwRecv = 0.20_us;
+// Open MPI over MX: the CM PML (MTL path) is lean; the BTL path pays the full
+// PML/BTL stack (Fig 6b shows BTL clearly above CM).
+inline constexpr Time kOmpiCmSwSend = 0.25_us;
+inline constexpr Time kOmpiCmSwRecv = 0.25_us;
+inline constexpr Time kOmpiBtlSwSend = 0.60_us;
+inline constexpr Time kOmpiBtlSwRecv = 0.60_us;
+
+// ---------------------------------------------------------------------------
+// PIOMan synchronization overheads (§4.1.2, "PIOMan's raw overhead"):
+// "significantly affects the latency (roughly 450 ns for shared memory)" and
+// "also introduces an overhead (roughly 2 µs)" for the network, attributed to
+// thread-safe request lists and non-thread-safe drivers needing locks.
+// Constant in message size, negligible for large messages — as measured.
+// ---------------------------------------------------------------------------
+inline constexpr Time kPiomanShmOverhead = 0.45_us;
+inline constexpr Time kPiomanNetOverhead = 2.0_us;
+// Reaction period of the background progress engine: how long after an event
+// an idle core notices it. "a fast detection of communication events" — small.
+inline constexpr Time kPiomanReactionPeriod = 0.5_us;
+
+// ---------------------------------------------------------------------------
+// Protocol thresholds.
+// ---------------------------------------------------------------------------
+// NewMadeleine internal eager→rendezvous switch.
+inline constexpr std::size_t kNmadRdvThreshold = 64_KiB;
+// Maximum bytes strat_aggreg packs into one wire packet.
+inline constexpr std::size_t kNmadMaxAggregate = 8_KiB;
+// MVAPICH2-like eager (vbuf) threshold and Open MPI-like first-frag/pipeline.
+inline constexpr std::size_t kMvapichEagerThreshold = 8_KiB;
+inline constexpr std::size_t kOmpiEagerThreshold = 12_KiB;
+inline constexpr std::size_t kOmpiPipelineFrag = 128_KiB;
+// Per-fragment software cost of the Open MPI pipeline protocol (descriptor
+// management + per-frag registration, no cache in 1.2.7 by default). This is
+// what makes MPICH2-Nmad "reach a higher bandwidth than Open MPI for
+// medium-sized messages" (§4.1.1).
+inline constexpr Time kOmpiPerFragOverhead = 18.0_us;
+// Copy bandwidth for eager copy-in/copy-out paths (vbufs, BTL buffers,
+// NewMadeleine packet wrappers).
+inline constexpr Bandwidth kHostCopyBandwidth = 3000_MBps;
+
+/// Registration cost of `bytes` of memory on the IB HCA.
+constexpr Time ib_reg_cost(std::size_t bytes) {
+  const std::size_t pages = (bytes + kPageSize - 1) / kPageSize;
+  return kIbRegBase + static_cast<double>(pages) * kIbRegPerPage;
+}
+
+/// Host memcpy cost for eager copy paths.
+constexpr Time copy_cost(std::size_t bytes) {
+  return static_cast<double>(bytes) / kHostCopyBandwidth;
+}
+
+}  // namespace nmx::calib

@@ -1,0 +1,79 @@
+#include "net/fabric.hpp"
+
+#include <utility>
+
+#include "net/calibration.hpp"
+
+namespace nmx::net {
+
+NicProfile ib_profile() {
+  NicProfile p;
+  p.name = "ib-connectx";
+  p.wire_latency = calib::kIbWireLatency;
+  p.per_message = calib::kIbPerMessage;
+  p.bandwidth = calib::kIbBandwidth;
+  p.needs_registration = true;
+  return p;
+}
+
+NicProfile mx_profile() {
+  NicProfile p;
+  p.name = "myri-10g-mx";
+  p.wire_latency = calib::kMxWireLatency;
+  p.per_message = calib::kMxPerMessage;
+  p.bandwidth = calib::kMxBandwidth;
+  p.needs_registration = false;  // MX registers internally
+  return p;
+}
+
+Fabric::Fabric(sim::Engine& eng, Topology topo) : eng_(eng), topo_(std::move(topo)) {
+  NMX_ASSERT(topo_.num_nodes > 0);
+  NMX_ASSERT(topo_.num_rails() > 0);
+  nics_.resize(static_cast<std::size_t>(topo_.num_nodes) * topo_.num_rails());
+}
+
+const NicProfile& Fabric::profile(int rail) const {
+  NMX_ASSERT(rail >= 0 && rail < topo_.num_rails());
+  return topo_.rails[rail];
+}
+
+Fabric::Nic& Fabric::nic(int node, int rail) {
+  NMX_ASSERT(node >= 0 && node < topo_.num_nodes);
+  NMX_ASSERT(rail >= 0 && rail < topo_.num_rails());
+  return nics_[static_cast<std::size_t>(node) * topo_.num_rails() + rail];
+}
+
+void Fabric::register_rx(int node, int rail, RxHandler h) {
+  Nic& n = nic(node, rail);
+  NMX_ASSERT_MSG(!n.rx, "rx handler already registered for this (node, rail)");
+  n.rx = std::move(h);
+}
+
+Time Fabric::transmit(WirePacket pkt) {
+  NMX_ASSERT_MSG(pkt.src_node != pkt.dst_node,
+                 "network loopback: intra-node traffic must use Nemesis shm");
+  const NicProfile& prof = profile(pkt.rail);
+  Nic& src = nic(pkt.src_node, pkt.rail);
+  Nic& dst = nic(pkt.dst_node, pkt.rail);
+  NMX_ASSERT_MSG(dst.rx != nullptr, "no rx handler at destination");
+
+  const Time occupancy = prof.occupancy(pkt.bytes);
+  // Egress: the packet queues behind earlier sends from this node.
+  const Channel::Grant out = src.egress.reserve(eng_.now(), occupancy);
+  // Ingress: the receiving NIC is pipelined with the wire, but serializes
+  // with other arrivals (this is where many-senders-one-node contention,
+  // e.g. SP on 36 processes / 10 nodes, comes from).
+  const Channel::Grant in = dst.ingress.reserve(out.begin + prof.wire_latency, occupancy);
+  const Time delivery = std::max(out.end + prof.wire_latency, in.end);
+
+  ++packets_sent_;
+  eng_.schedule(delivery, [&dst, p = std::move(pkt)]() mutable { dst.rx(std::move(p)); });
+  return out.end;
+}
+
+Time Fabric::uncontended_time(int rail, std::size_t bytes) const {
+  const NicProfile& prof = profile(rail);
+  return prof.wire_latency + prof.occupancy(bytes);
+}
+
+}  // namespace nmx::net

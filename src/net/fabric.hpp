@@ -1,0 +1,89 @@
+// The simulated network fabric: per-node NICs on each rail, FIFO occupancy
+// on both the egress and ingress side (which is where NIC contention — a
+// motivating concern of the paper's introduction — emerges mechanistically),
+// and delivery of wire packets to registered receive handlers.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace nmx::net {
+
+/// A packet on the wire. `payload` carries whatever the sending driver put
+/// in (header structs, aggregated packet lists); `bytes` is what the NIC
+/// actually times.
+struct WirePacket {
+  int src_node = -1;
+  int dst_node = -1;
+  int dst_proc = -1;  ///< destination process (for per-node demultiplexing)
+  int rail = -1;
+  std::size_t bytes = 0;
+  std::any payload;
+};
+
+/// One direction of a NIC: a FIFO resource that transfers occupy.
+class Channel {
+ public:
+  /// Reserve the channel for `duration` starting no earlier than `t`.
+  /// Returns the interval [begin, end) actually granted.
+  struct Grant {
+    Time begin;
+    Time end;
+  };
+  Grant reserve(Time t, Time duration) {
+    const Time begin = std::max(t, busy_until_);
+    busy_until_ = begin + duration;
+    return {begin, busy_until_};
+  }
+  Time busy_until() const { return busy_until_; }
+
+ private:
+  Time busy_until_ = 0;
+};
+
+class Fabric {
+ public:
+  using RxHandler = std::function<void(WirePacket&&)>;
+
+  Fabric(sim::Engine& eng, Topology topo);
+
+  const Topology& topology() const { return topo_; }
+  const NicProfile& profile(int rail) const;
+
+  /// Register the receive handler for (node, rail). Called at delivery time
+  /// on the engine thread. Exactly one handler per (node, rail).
+  void register_rx(int node, int rail, RxHandler h);
+
+  /// Queue `pkt` on the source node's NIC for `pkt.rail`. The receive
+  /// handler fires when the last byte lands (wire latency + occupancy +
+  /// any queueing behind earlier transfers on either NIC). Returns the time
+  /// the sending NIC finishes reading the buffer (local/egress completion) —
+  /// drivers use it to schedule their next submission.
+  Time transmit(WirePacket pkt);
+
+  /// Uncontended one-way transfer time on `rail` for `bytes` — what a
+  /// network-sampling probe would measure on an idle machine.
+  Time uncontended_time(int rail, std::size_t bytes) const;
+
+  std::size_t packets_sent() const { return packets_sent_; }
+
+ private:
+  struct Nic {
+    Channel egress;
+    Channel ingress;
+    RxHandler rx;
+  };
+  Nic& nic(int node, int rail);
+
+  sim::Engine& eng_;
+  Topology topo_;
+  std::vector<Nic> nics_;  // node-major [node * num_rails + rail]
+  std::size_t packets_sent_ = 0;
+};
+
+}  // namespace nmx::net

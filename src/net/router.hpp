@@ -1,0 +1,41 @@
+// Per-node demultiplexer: the NICs of a node are shared by every process on
+// it (the source of the contention concerns in the paper's introduction), so
+// one rx handler per (node, rail) routes arriving packets to the destination
+// process's endpoint by WirePacket::dst_proc.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+
+namespace nmx::net {
+
+class ProcRouter {
+ public:
+  using Handler = std::function<void(WirePacket&&)>;
+
+  /// Installs itself as the rx handler for every rail of `node`.
+  ProcRouter(Fabric& fabric, int node) : node_(node) {
+    for (int r = 0; r < fabric.topology().num_rails(); ++r) {
+      fabric.register_rx(node_, r, [this](WirePacket&& pkt) { route(std::move(pkt)); });
+    }
+  }
+
+  void register_proc(int proc, Handler h) {
+    NMX_ASSERT_MSG(!handlers_.count(proc), "proc endpoint registered twice");
+    handlers_.emplace(proc, std::move(h));
+  }
+
+ private:
+  void route(WirePacket&& pkt) {
+    auto it = handlers_.find(pkt.dst_proc);
+    NMX_ASSERT_MSG(it != handlers_.end(), "packet for unregistered process");
+    it->second(std::move(pkt));
+  }
+
+  int node_;
+  std::unordered_map<int, Handler> handlers_;
+};
+
+}  // namespace nmx::net

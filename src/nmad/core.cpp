@@ -1,0 +1,444 @@
+#include "nmad/core.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace nmx::nmad {
+
+Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int my_proc,
+           ExtendedConfig cfg)
+    : eng_(eng),
+      fabric_(fabric),
+      my_proc_(my_proc),
+      my_node_(fabric.topology().node_of(my_proc)),
+      cfg_(cfg),
+      sampling_(fabric, cfg.rails) {
+  NMX_ASSERT(!cfg_.rails.empty());
+  StrategyOptions opts;
+  opts.max_aggregate = cfg_.max_aggregate;
+  opts.min_split_chunk = cfg_.min_split_chunk;
+  opts.adaptive_split = cfg_.adaptive_split;
+  strategy_ = make_strategy(cfg_.strategy, sampling_, opts);
+  for (int fr : cfg_.rails) drivers_.push_back(Driver{fr, false});
+  router.register_proc(my_proc_, [this](net::WirePacket&& pkt) { rx_wire(std::move(pkt)); });
+}
+
+Request* Core::new_request(Request r) {
+  live_.push_back(std::move(r));
+  auto it = std::prev(live_.end());
+  it->self = it;
+  return &*it;
+}
+
+Core::GateState& Core::gate(int peer) { return gates_[peer]; }
+
+bool Core::any_rail_needs_registration() const {
+  for (const Driver& d : drivers_) {
+    if (fabric_.profile(d.fabric_rail).needs_registration) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// nm_sr interface
+// --------------------------------------------------------------------------
+
+Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx) {
+  NMX_ASSERT_MSG(dst != my_proc_, "NewMadeleine handles inter-node traffic only");
+  Request* req = new_request([&] {
+    Request r;
+    r.kind = Request::Kind::Send;
+    r.peer = dst;
+    r.tag = tag;
+    r.len = len;
+    r.sbuf = static_cast<const std::byte*>(buf);
+    r.user_ctx = user_ctx;
+    return r;
+  }());
+
+  GateState& g = gate(dst);
+  const std::uint32_t seq = g.send_seq[tag]++;
+  Entry e;
+  e.dst_proc = dst;
+  e.tag = tag;
+  e.seq = seq;
+  if (len <= cfg_.rdv_threshold) {
+    e.kind = Entry::Kind::Eager;
+    if (len > 0) {
+      e.bytes.resize(len);
+      std::memcpy(e.bytes.data(), buf, len);
+    }
+    e.sreq = req;
+  } else {
+    // Internal rendezvous (§2.1.3): RTS now, data after the CTS grant.
+    if (sim::Tracer* tr = eng_.tracer()) {
+      tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadRdv, len, dst);
+    }
+    const std::uint64_t id = next_rdv_++;
+    req->rdv_id = id;
+    rdv_out_.emplace(id, req);
+    ++rdv_started_;
+    e.kind = Entry::Kind::Rts;
+    e.rdv_id = id;
+    e.rdv_total = len;
+  }
+  strategy_->enqueue(std::move(e));
+  kick();
+  return req;
+}
+
+Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx) {
+  NMX_ASSERT_MSG(src != my_proc_, "NewMadeleine handles inter-node traffic only");
+  Request* req = new_request([&] {
+    Request r;
+    r.kind = Request::Kind::Recv;
+    r.peer = src;
+    r.tag = tag;
+    r.len = len;
+    r.rbuf = static_cast<std::byte*>(buf);
+    r.user_ctx = user_ctx;
+    return r;
+  }());
+
+  GateState& g = gate(src);
+  auto& unex = g.unexpected[tag];
+  if (!unex.empty()) {
+    Unexpected u = std::move(unex.front());
+    unex.pop_front();
+    --unexpected_total_;
+    if (!u.rdv) {
+      NMX_ASSERT_MSG(u.payload.size() <= req->len, "eager message overflows receive buffer");
+      if (!u.payload.empty()) std::memcpy(req->rbuf, u.payload.data(), u.payload.size());
+      req->received = u.payload.size();
+      complete(*req);
+    } else {
+      start_rdv_recv(src, req, u.rdv_id, u.len);
+    }
+    return req;
+  }
+  g.posted[tag].push_back(req);
+  return req;
+}
+
+void Core::release(Request* r) {
+  NMX_ASSERT_MSG(r->completed, "requests cannot be cancelled, only completed ones released");
+  live_.erase(r->self);
+}
+
+std::optional<ProbeInfo> Core::probe(std::optional<int> src, TagSelector sel) const {
+  const Unexpected* best = nullptr;
+  ProbeInfo info;
+  auto consider = [&](int gsrc, Tag gtag, const std::deque<Unexpected>& q) {
+    if (q.empty() || !sel.matches(gtag)) return;
+    const Unexpected& u = q.front();
+    if (best == nullptr || u.arrival < best->arrival) {
+      best = &u;
+      info.src = gsrc;
+      info.tag = gtag;
+      info.len = u.len;
+    }
+  };
+  for (const auto& [gsrc, g] : gates_) {
+    if (src && *src != gsrc) continue;
+    for (const auto& [gtag, q] : g.unexpected) consider(gsrc, gtag, q);
+  }
+  if (!best) return std::nullopt;
+  return info;
+}
+
+// --------------------------------------------------------------------------
+// progress engine
+// --------------------------------------------------------------------------
+
+void Core::enter_progress() {
+  ++progress_depth_;
+  progress();
+}
+
+void Core::leave_progress() {
+  NMX_ASSERT(progress_depth_ > 0);
+  --progress_depth_;
+}
+
+void Core::progress() {
+  drain_rx();
+  try_flush();
+}
+
+void Core::kick() {
+  if (progress_allowed()) {
+    try_flush();
+  } else {
+    pending_flush_ = true;
+    notify_async();
+  }
+}
+
+void Core::try_flush() {
+  pending_flush_ = false;
+  for (std::size_t r = 0; r < drivers_.size(); ++r) {
+    Driver& d = drivers_[r];
+    while (!d.busy) {
+      auto wm = strategy_->next(static_cast<int>(r), my_proc_);
+      if (!wm) break;
+      submit(static_cast<int>(r), std::move(*wm));
+    }
+  }
+}
+
+void Core::submit(int local_rail, WireMsg wm) {
+  Driver& d = drivers_[static_cast<std::size_t>(local_rail)];
+  NMX_ASSERT(!d.busy);
+  d.busy = true;
+
+  // Software cost before the NIC sees the packet: generic-layer injection,
+  // eager copy into the packet wrapper, and on-the-fly registration of
+  // rendezvous payload (NewMadeleine has no registration cache — §4.1.1).
+  Time pre = cfg_.inject_overhead();
+  pre += calib::copy_cost(wm.copied_bytes());
+  const net::NicProfile& prof = fabric_.profile(d.fabric_rail);
+  if (prof.needs_registration && wm.rdv_bytes() > 0) {
+    pre += calib::ib_reg_cost(wm.rdv_bytes());
+  }
+
+  std::vector<Note> notes;
+  for (const Entry& e : wm.entries) {
+    if (e.sreq != nullptr) notes.push_back(Note{e.sreq, e.kind});
+  }
+
+  const int dst = wm.dst_proc;
+  const std::size_t bytes = wm.wire_bytes();
+  if (sim::Tracer* tr = eng_.tracer()) {
+    tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadTx, bytes, local_rail);
+  }
+  eng_.schedule_in(pre, [this, local_rail, dst, bytes, wm = std::move(wm),
+                         notes = std::move(notes)]() mutable {
+    net::WirePacket pkt;
+    pkt.src_node = my_node_;
+    pkt.dst_node = fabric_.topology().node_of(dst);
+    pkt.dst_proc = dst;
+    pkt.rail = drivers_[static_cast<std::size_t>(local_rail)].fabric_rail;
+    pkt.bytes = bytes;
+    pkt.payload = std::move(wm);
+    const Time egress = fabric_.transmit(std::move(pkt));
+    eng_.schedule(egress, [this, local_rail, notes = std::move(notes)]() mutable {
+      on_egress(local_rail, std::move(notes));
+    });
+  });
+}
+
+void Core::on_egress(int local_rail, std::vector<Note> notes) {
+  drivers_[static_cast<std::size_t>(local_rail)].busy = false;
+  for (const Note& n : notes) {
+    if (n.kind == Entry::Kind::Eager) {
+      complete(*n.sreq);
+    } else if (n.kind == Entry::Kind::RdvChunk) {
+      NMX_ASSERT(n.sreq->chunks_outstanding > 0);
+      if (--n.sreq->chunks_outstanding == 0) {
+        rdv_out_.erase(n.sreq->rdv_id);
+        complete(*n.sreq);
+      }
+    }
+  }
+  if (strategy_->pending()) kick();
+}
+
+void Core::notify_async() {
+  if (async_notifier_) async_notifier_();
+}
+
+// --------------------------------------------------------------------------
+// receive path
+// --------------------------------------------------------------------------
+
+void Core::rx_wire(net::WirePacket&& pkt) {
+  pending_rx_.push_back(std::move(std::any_cast<WireMsg&>(pkt.payload)));
+  if (progress_allowed()) {
+    drain_rx();
+  } else {
+    notify_async();
+  }
+}
+
+void Core::drain_rx() {
+  while (!pending_rx_.empty()) {
+    WireMsg m = std::move(pending_rx_.front());
+    pending_rx_.pop_front();
+    // Charge the generic-layer receive cost (matching, completion dispatch,
+    // PIOMan locking when enabled) per wire message.
+    eng_.schedule_in(cfg_.deliver_overhead(),
+                     [this, m = std::move(m)]() mutable { handle_wire(std::move(m)); });
+  }
+}
+
+void Core::handle_wire(WireMsg m) {
+  if (sim::Tracer* tr = eng_.tracer()) {
+    tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadRx, m.wire_bytes(), m.src_proc);
+  }
+  const int src = m.src_proc;
+  for (Entry& e : m.entries) {
+    switch (e.kind) {
+      case Entry::Kind::Eager:
+      case Entry::Kind::Rts:
+        ingest_ordered(src, std::move(e));
+        break;
+      case Entry::Kind::Cts:
+        handle_cts(src, e.rdv_id);
+        break;
+      case Entry::Kind::RdvChunk:
+        handle_rdv_data(src, e);
+        break;
+    }
+  }
+}
+
+void Core::ingest_ordered(int src, Entry e) {
+  GateState& g = gate(src);
+  std::uint32_t& expected = g.recv_seq[e.tag];
+  if (e.seq != expected) {
+    // Arrived ahead of an in-flight predecessor (possible across rails);
+    // stash until its turn to preserve MPI matching order.
+    const Tag tag = e.tag;
+    const std::uint32_t seq = e.seq;
+    g.out_of_order.emplace(std::make_pair(tag, seq), PendingIngest{std::move(e), src});
+    return;
+  }
+  ++expected;
+  ingest(src, e);
+  // Drain any stashed successors that are now in order.
+  for (;;) {
+    auto it = g.out_of_order.find({e.tag, g.recv_seq[e.tag]});
+    if (it == g.out_of_order.end()) break;
+    Entry next = std::move(it->second.entry);
+    g.out_of_order.erase(it);
+    ++g.recv_seq[next.tag];
+    ingest(src, next);
+  }
+}
+
+void Core::ingest(int src, Entry& e) {
+  if (e.kind == Entry::Kind::Eager) {
+    deliver_eager(src, e);
+  } else {
+    handle_rts(src, e);
+  }
+}
+
+void Core::deliver_eager(int src, Entry& e) {
+  GateState& g = gate(src);
+  auto& posted = g.posted[e.tag];
+  if (!posted.empty()) {
+    Request* req = posted.front();
+    posted.pop_front();
+    NMX_ASSERT_MSG(e.bytes.size() <= req->len, "eager message overflows receive buffer");
+    if (!e.bytes.empty()) std::memcpy(req->rbuf, e.bytes.data(), e.bytes.size());
+    req->received = e.bytes.size();
+    complete(*req);
+    return;
+  }
+  const std::size_t len = e.bytes.size();
+  Unexpected u;
+  u.arrival = arrival_counter_++;
+  u.rdv = false;
+  u.len = len;
+  u.payload = std::move(e.bytes);
+  g.unexpected[e.tag].push_back(std::move(u));
+  ++unexpected_total_;
+  if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, len});
+}
+
+void Core::handle_rts(int src, Entry& e) {
+  GateState& g = gate(src);
+  auto& posted = g.posted[e.tag];
+  if (!posted.empty()) {
+    Request* req = posted.front();
+    posted.pop_front();
+    start_rdv_recv(src, req, e.rdv_id, e.rdv_total);
+    return;
+  }
+  Unexpected u;
+  u.arrival = arrival_counter_++;
+  u.rdv = true;
+  u.len = e.rdv_total;
+  u.rdv_id = e.rdv_id;
+  g.unexpected[e.tag].push_back(std::move(u));
+  ++unexpected_total_;
+  if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, e.rdv_total});
+}
+
+void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total) {
+  NMX_ASSERT_MSG(total <= req->len, "rendezvous message overflows receive buffer");
+  req->received = total;  // final size; arrival tracked via rdv_in bytes
+  rdv_in_.emplace(std::make_pair(src, rdv_id), RdvIn{req});
+  req->chunks_outstanding = total;  // repurposed as bytes-still-expected
+
+  // Grant: register the receive buffer (on-the-fly, uncached) and send CTS.
+  Time reg = 0;
+  if (any_rail_needs_registration()) reg = calib::ib_reg_cost(total);
+  auto send_cts = [this, src, rdv_id] {
+    Entry cts;
+    cts.kind = Entry::Kind::Cts;
+    cts.dst_proc = src;
+    cts.rdv_id = rdv_id;
+    strategy_->enqueue(std::move(cts));
+    kick();
+  };
+  if (reg > 0) {
+    eng_.schedule_in(reg, send_cts);
+  } else {
+    send_cts();
+  }
+}
+
+void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
+  auto it = rdv_out_.find(rdv_id);
+  NMX_ASSERT_MSG(it != rdv_out_.end(), "CTS for unknown rendezvous");
+  Request* req = it->second;
+
+  // Plan the data chunks across rails (adaptive split for SplitBalance).
+  const std::vector<std::size_t> shares = strategy_->plan_rdv(req->len);
+  std::size_t offset = 0;
+  std::size_t chunks = 0;
+  for (std::size_t share : shares) {
+    if (share > 0) ++chunks;
+  }
+  NMX_ASSERT(chunks > 0);
+  req->chunks_outstanding = chunks;
+  for (std::size_t r = 0; r < shares.size(); ++r) {
+    if (shares[r] == 0) continue;
+    Entry e;
+    e.kind = Entry::Kind::RdvChunk;
+    e.dst_proc = req->peer;
+    e.rdv_id = rdv_id;
+    e.offset = offset;
+    e.rail = static_cast<int>(r);
+    e.bytes.assign(req->sbuf + offset, req->sbuf + offset + shares[r]);
+    e.sreq = req;
+    offset += shares[r];
+    strategy_->enqueue(std::move(e));
+  }
+  NMX_ASSERT(offset == req->len);
+  kick();
+}
+
+void Core::handle_rdv_data(int src, Entry& e) {
+  auto it = rdv_in_.find({src, e.rdv_id});
+  NMX_ASSERT_MSG(it != rdv_in_.end(), "rendezvous data without matching grant");
+  Request* req = it->second.req;
+  NMX_ASSERT(e.offset + e.bytes.size() <= req->len);
+  if (!e.bytes.empty()) std::memcpy(req->rbuf + e.offset, e.bytes.data(), e.bytes.size());
+  NMX_ASSERT(req->chunks_outstanding >= e.bytes.size());
+  req->chunks_outstanding -= e.bytes.size();
+  if (req->chunks_outstanding == 0) {
+    rdv_in_.erase(it);
+    complete(*req);
+  }
+}
+
+void Core::complete(Request& r) {
+  NMX_ASSERT_MSG(!r.completed, "request completed twice");
+  r.completed = true;
+  if (on_complete_) on_complete_(r);
+}
+
+}  // namespace nmx::nmad

@@ -1,0 +1,200 @@
+// The NewMadeleine communication core: the nm_sr interface (§2.2.1), internal
+// tag matching, the eager / internal-rendezvous protocols, the submission
+// window drained by strategies, and the per-rail drivers.
+//
+// Progress rule (the key to Figure 7): NewMadeleine "works with the network's
+// activity" — requests are queued, and the software steps that move them
+// (packing by the strategy, NIC submission, incoming-packet handling,
+// rendezvous replies) run only while some party is *in the progress engine*:
+// either an application thread inside an MPI call (enter_progress /
+// leave_progress bracket) or PIOMan reacting in the background (service()).
+// Hardware-side events (NIC egress completion, wire delivery) always fire;
+// it is the software reaction to them that is gated.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/router.hpp"
+#include "nmad/sampling.hpp"
+#include "nmad/strategy.hpp"
+#include "nmad/types.hpp"
+#include "nmad/wire.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace nmx::nmad {
+
+/// Result of probing the unexpected queues (feeds the CH3 any-source lists).
+struct ProbeInfo {
+  int src = -1;
+  Tag tag = 0;
+  std::size_t len = 0;
+};
+
+class Core {
+ public:
+  struct ExtendedConfig : Config {
+    /// Ablation switch for bench/abl_splitratio.
+    bool adaptive_split = true;
+  };
+
+  Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int my_proc,
+       ExtendedConfig cfg);
+
+  int proc() const { return my_proc_; }
+  const ExtendedConfig& config() const { return cfg_; }
+  const Sampling& sampling() const { return sampling_; }
+  const Strategy& strategy() const { return *strategy_; }
+
+  // --- nm_sr interface ----------------------------------------------------
+
+  /// nm_sr_isend(destination, tag, buffer, size) — §2.2.1.
+  Request* isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx = nullptr);
+  /// nm_sr_irecv(source, tag, buffer, capacity) — §2.2.1. The source must be
+  /// known; MPI_ANY_SOURCE is handled above us by the CH3 lists (§3.2).
+  Request* irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx = nullptr);
+
+  bool test(const Request* r) const { return r->completed; }
+  /// Free a request the upper layer is done with. Requests cannot be
+  /// cancelled (§2.2.1) — only completed requests may be released.
+  void release(Request* r);
+
+  /// Non-destructive look at the unexpected queues: the oldest message
+  /// matching (src?, selector). This is the "new NewMadeleine function" the
+  /// module polls for any-source handling (§3.2.2).
+  std::optional<ProbeInfo> probe(std::optional<int> src, TagSelector sel) const;
+
+  /// Fired on the engine thread whenever a request completes (§3.1.3: lets
+  /// the module mark the corresponding CH3 request complete).
+  void set_on_complete(std::function<void(Request&)> fn) { on_complete_ = std::move(fn); }
+
+  /// Fired when a message lands with no posted request — the trigger for
+  /// the CH3 any-source lists to probe and dynamically create a request.
+  void set_on_unexpected(std::function<void(const ProbeInfo&)> fn) {
+    on_unexpected_ = std::move(fn);
+  }
+
+  // --- progress control ---------------------------------------------------
+
+  /// Bracket for blocking MPI calls: while the depth is nonzero, incoming
+  /// packets are handled and strategies flushed as events arrive.
+  void enter_progress();
+  void leave_progress();
+  bool progress_allowed() const { return progress_depth_ > 0; }
+
+  /// One explicit progress pass (MPI_Test / netmod poll).
+  void progress();
+
+  /// PIOMan's entry point: a progress pass made by the background engine.
+  void service() {
+    ++progress_depth_;
+    progress();
+    --progress_depth_;
+  }
+
+  /// Called when gated work appears while nobody is in the progress engine
+  /// — PIOMan hooks this to schedule a background reaction (§2.2.2).
+  void set_async_notifier(std::function<void()> fn) { async_notifier_ = std::move(fn); }
+  bool has_gated_work() const { return !pending_rx_.empty() || pending_flush_; }
+
+  // --- introspection ------------------------------------------------------
+
+  std::size_t outstanding_requests() const { return live_.size(); }
+  std::size_t unexpected_count() const { return unexpected_total_; }
+  std::size_t rdv_started() const { return rdv_started_; }
+
+ private:
+  struct Unexpected {
+    std::uint64_t arrival = 0;  ///< global arrival order (for wildcard probe)
+    bool rdv = false;
+    std::size_t len = 0;
+    std::uint64_t rdv_id = 0;
+    std::vector<std::byte> payload;  ///< eager only
+  };
+
+  /// An Eager or Rts entry waiting for its sequence turn (multirail safety).
+  struct PendingIngest {
+    Entry entry;
+    int src;
+  };
+
+  struct GateState {
+    std::unordered_map<Tag, std::uint32_t> send_seq;
+    std::unordered_map<Tag, std::uint32_t> recv_seq;
+    std::map<std::pair<Tag, std::uint32_t>, PendingIngest> out_of_order;
+    std::unordered_map<Tag, std::deque<Request*>> posted;
+    std::unordered_map<Tag, std::deque<Unexpected>> unexpected;
+  };
+
+  struct RdvIn {
+    Request* req = nullptr;
+  };
+
+  struct Driver {
+    int fabric_rail = 0;
+    bool busy = false;
+  };
+
+  struct Note {  // sender-side egress bookkeeping
+    Request* sreq;
+    Entry::Kind kind;
+  };
+
+  Request* new_request(Request r);
+  GateState& gate(int peer);
+  void kick();
+  void try_flush();
+  void submit(int local_rail, WireMsg wm);
+  void on_egress(int local_rail, std::vector<Note> notes);
+  void rx_wire(net::WirePacket&& pkt);
+  void drain_rx();
+  void handle_wire(WireMsg m);
+  void ingest_ordered(int src, Entry e);
+  void ingest(int src, Entry& e);
+  void deliver_eager(int src, Entry& e);
+  void handle_rts(int src, Entry& e);
+  void handle_cts(int src, std::uint64_t rdv_id);
+  void handle_rdv_data(int src, Entry& e);
+  void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total);
+  void complete(Request& r);
+  void notify_async();
+  bool any_rail_needs_registration() const;
+
+  sim::Engine& eng_;
+  net::Fabric& fabric_;
+  int my_proc_;
+  int my_node_;
+  ExtendedConfig cfg_;
+  Sampling sampling_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<Driver> drivers_;
+
+  std::list<Request> live_;
+  std::unordered_map<int, GateState> gates_;
+  std::unordered_map<std::uint64_t, Request*> rdv_out_;  ///< rdv_id -> send req
+  std::map<std::pair<int, std::uint64_t>, RdvIn> rdv_in_;
+
+  std::deque<WireMsg> pending_rx_;
+  bool pending_flush_ = false;
+  int progress_depth_ = 0;
+
+  std::function<void(Request&)> on_complete_;
+  std::function<void(const ProbeInfo&)> on_unexpected_;
+  std::function<void()> async_notifier_;
+
+  std::uint64_t next_rdv_ = 1;
+  std::uint64_t arrival_counter_ = 0;
+  std::size_t unexpected_total_ = 0;
+  std::size_t rdv_started_ = 0;
+};
+
+}  // namespace nmx::nmad

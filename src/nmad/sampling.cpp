@@ -1,0 +1,113 @@
+#include "nmad/sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace nmx::nmad {
+
+namespace {
+constexpr std::size_t kProbeSmall = 4096;
+constexpr std::size_t kProbeLarge = 4 * 1024 * 1024;
+}  // namespace
+
+Sampling::Sampling(const net::Fabric& fabric, const std::vector<int>& rails) {
+  NMX_ASSERT(!rails.empty());
+  for (int fr : rails) {
+    // Two-point fit of t(len) = alpha + len / beta, exactly what a pair of
+    // probe transfers on the idle machine would measure.
+    const Time t_small = fabric.uncontended_time(fr, kProbeSmall);
+    const Time t_large = fabric.uncontended_time(fr, kProbeLarge);
+    RailPerf p;
+    p.fabric_rail = fr;
+    p.beta = static_cast<double>(kProbeLarge - kProbeSmall) / (t_large - t_small);
+    p.alpha = t_small - static_cast<double>(kProbeSmall) / p.beta;
+    rails_.push_back(p);
+  }
+  find_fastest();
+}
+
+Sampling::Sampling(std::vector<RailPerf> rails) : rails_(std::move(rails)) {
+  NMX_ASSERT(!rails_.empty());
+  find_fastest();
+}
+
+void Sampling::find_fastest() {
+  fastest_ = 0;
+  for (std::size_t i = 1; i < rails_.size(); ++i) {
+    if (rails_[i].alpha < rails_[static_cast<std::size_t>(fastest_)].alpha) {
+      fastest_ = static_cast<int>(i);
+    }
+  }
+}
+
+Time Sampling::predict(int r, std::size_t len) const {
+  const RailPerf& p = rails_.at(static_cast<std::size_t>(r));
+  return p.alpha + static_cast<double>(len) / p.beta;
+}
+
+std::vector<std::size_t> Sampling::split(std::size_t len, std::size_t min_chunk) const {
+  std::vector<std::size_t> shares(rails_.size(), 0);
+  if (rails_.size() == 1 || len <= min_chunk) {
+    shares[static_cast<std::size_t>(fastest_)] = len;
+    return shares;
+  }
+
+  // Candidate rails, pruned until every share clears min_chunk.
+  std::vector<std::size_t> cand(rails_.size());
+  std::iota(cand.begin(), cand.end(), 0);
+  std::vector<double> share(rails_.size(), 0.0);
+  while (true) {
+    double beta_sum = 0.0, alpha_beta_sum = 0.0;
+    for (std::size_t i : cand) {
+      beta_sum += rails_[i].beta;
+      alpha_beta_sum += rails_[i].alpha * rails_[i].beta;
+    }
+    // Equal-finish-time allocation.
+    const double T = (static_cast<double>(len) + alpha_beta_sum) / beta_sum;
+    bool ok = true;
+    std::size_t worst = cand.front();
+    double worst_share = 1e300;
+    for (std::size_t i : cand) {
+      share[i] = rails_[i].beta * (T - rails_[i].alpha);
+      if (share[i] < worst_share) {
+        worst_share = share[i];
+        worst = i;
+      }
+      if (share[i] < static_cast<double>(min_chunk)) ok = false;
+    }
+    if (ok || cand.size() == 1) break;
+    std::erase(cand, worst);
+    for (auto& s : share) s = 0.0;
+    if (cand.size() == 1) {
+      share[cand.front()] = static_cast<double>(len);
+      break;
+    }
+  }
+
+  // Round to integral bytes, handing the remainder to the fastest candidate.
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < rails_.size(); ++i) {
+    shares[i] = static_cast<std::size_t>(share[i]);
+    assigned += shares[i];
+  }
+  NMX_ASSERT(assigned <= len);
+  std::size_t remainder = len - assigned;
+  for (std::size_t i = 0; i < rails_.size() && remainder > 0; ++i) {
+    if (shares[i] > 0 || rails_.size() == 1) {
+      shares[i] += remainder;
+      remainder = 0;
+    }
+  }
+  if (remainder > 0) shares[static_cast<std::size_t>(fastest_)] += remainder;
+  return shares;
+}
+
+std::vector<std::size_t> Sampling::split_even(std::size_t len) const {
+  std::vector<std::size_t> shares(rails_.size(), len / rails_.size());
+  shares[0] += len % rails_.size();
+  return shares;
+}
+
+}  // namespace nmx::nmad

@@ -1,0 +1,62 @@
+// Network sampling and adaptive multirail splitting.
+//
+// "A network sampling mechanism is used to compute an adaptive split ratio
+// tailored to fit each available networks' abilities" — §2.2, citing Aumage,
+// Brunet, Mercier, Namyst (HCW 2007). Real NewMadeleine runs probe transfers
+// at install time and stores per-size timings; we fit the same linear model
+// (alpha + len/beta) from two probe sizes measured on the idle fabric.
+//
+// The split solves: distribute `len` bytes over rails so all rails finish
+// simultaneously:  share_r = beta_r * (T - alpha_r)  with  sum(share) = len.
+// Rails whose share would be below `min_chunk` are dropped and the remainder
+// re-balanced (sending a sliver on a slow rail costs more latency than it
+// saves bandwidth).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+
+namespace nmx::nmad {
+
+struct RailPerf {
+  int fabric_rail = 0;   ///< rail index in the fabric topology
+  Time alpha = 0;        ///< fitted per-message latency
+  Bandwidth beta = 0;    ///< fitted bandwidth (bytes/s)
+};
+
+class Sampling {
+ public:
+  /// Probe every rail in `rails` (fabric rail indices) on the idle fabric.
+  Sampling(const net::Fabric& fabric, const std::vector<int>& rails);
+
+  /// Construct from externally supplied measurements (tests, ablations).
+  explicit Sampling(std::vector<RailPerf> rails);
+
+  const std::vector<RailPerf>& rails() const { return rails_; }
+  std::size_t num_rails() const { return rails_.size(); }
+
+  /// Local index of the lowest-latency rail — where small messages go
+  /// ("choose the fastest network for small messages", §4.1.1).
+  int fastest() const { return fastest_; }
+
+  /// Predicted uncontended one-way time for `len` bytes on local rail `r`.
+  Time predict(int r, std::size_t len) const;
+
+  /// Byte share per local rail for a rendezvous of `len` bytes. Shares sum
+  /// to exactly `len`; rails not worth using get 0.
+  std::vector<std::size_t> split(std::size_t len, std::size_t min_chunk) const;
+
+  /// Fixed even split over all rails — the naive policy the adaptive ratio
+  /// is compared against in bench/abl_splitratio.
+  std::vector<std::size_t> split_even(std::size_t len) const;
+
+ private:
+  void find_fastest();
+  std::vector<RailPerf> rails_;
+  int fastest_ = 0;
+};
+
+}  // namespace nmx::nmad

@@ -1,0 +1,128 @@
+#include "nmad/strategy.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace nmx::nmad {
+
+namespace {
+
+/// Common machinery: per-(rail, destination) FIFOs with round-robin
+/// destination selection per rail.
+class QueuedStrategy : public Strategy {
+ public:
+  QueuedStrategy(const Sampling& sampling, StrategyOptions opts, bool aggregate)
+      : sampling_(sampling), opts_(opts), aggregate_(aggregate) {}
+
+  void enqueue(Entry e) override {
+    if (e.kind != Entry::Kind::RdvChunk) e.rail = sampling_.fastest();
+    auto& q = queues_[{e.rail, e.dst_proc}];
+    q.push_back(std::move(e));
+    ++pending_;
+  }
+
+  std::optional<WireMsg> next(int rail, int src_proc) override {
+    // Round-robin across destinations that have traffic on this rail.
+    auto& cursor = rr_cursor_[rail];
+    auto begin = queues_.lower_bound({rail, cursor});
+    auto pick = queues_.end();
+    for (auto it = begin; it != queues_.end() && it->first.first == rail; ++it) {
+      if (!it->second.empty()) {
+        pick = it;
+        break;
+      }
+    }
+    if (pick == queues_.end()) {
+      for (auto it = queues_.lower_bound({rail, 0});
+           it != begin && it->first.first == rail; ++it) {
+        if (!it->second.empty()) {
+          pick = it;
+          break;
+        }
+      }
+    }
+    if (pick == queues_.end()) return std::nullopt;
+
+    std::deque<Entry>& q = pick->second;
+    WireMsg wm;
+    wm.src_proc = src_proc;
+    wm.dst_proc = pick->first.second;
+    // Rendezvous data always travels alone (zero-copy DMA of user memory).
+    if (q.front().kind == Entry::Kind::RdvChunk) {
+      wm.entries.push_back(std::move(q.front()));
+      q.pop_front();
+      --pending_;
+    } else {
+      std::size_t packed_bytes = 0;
+      do {
+        packed_bytes += q.front().bytes.size();
+        wm.entries.push_back(std::move(q.front()));
+        q.pop_front();
+        --pending_;
+      } while (aggregate_ && !q.empty() && q.front().kind != Entry::Kind::RdvChunk &&
+               packed_bytes + q.front().bytes.size() <= opts_.max_aggregate);
+    }
+    cursor = pick->first.second + 1;  // resume after this destination
+    ++packets_built_;
+    entries_sent_ += wm.entries.size();
+    return wm;
+  }
+
+  bool pending() const override { return pending_ > 0; }
+
+ protected:
+  const Sampling& sampling_;
+  StrategyOptions opts_;
+
+ private:
+  bool aggregate_;
+  // (rail, dst) -> FIFO. Ordered map so round-robin iteration is stable.
+  std::map<std::pair<int, int>, std::deque<Entry>> queues_;
+  std::map<int, int> rr_cursor_;
+  std::size_t pending_ = 0;
+};
+
+class StratDefault final : public QueuedStrategy {
+ public:
+  StratDefault(const Sampling& s, StrategyOptions o) : QueuedStrategy(s, o, /*aggregate=*/false) {}
+  std::vector<std::size_t> plan_rdv(std::size_t len) const override {
+    std::vector<std::size_t> shares(sampling_.num_rails(), 0);
+    shares[static_cast<std::size_t>(sampling_.fastest())] = len;
+    return shares;
+  }
+};
+
+class StratAggreg final : public QueuedStrategy {
+ public:
+  StratAggreg(const Sampling& s, StrategyOptions o) : QueuedStrategy(s, o, /*aggregate=*/true) {}
+  std::vector<std::size_t> plan_rdv(std::size_t len) const override {
+    std::vector<std::size_t> shares(sampling_.num_rails(), 0);
+    shares[static_cast<std::size_t>(sampling_.fastest())] = len;
+    return shares;
+  }
+};
+
+class StratSplitBalance final : public QueuedStrategy {
+ public:
+  StratSplitBalance(const Sampling& s, StrategyOptions o)
+      : QueuedStrategy(s, o, /*aggregate=*/true) {}
+  std::vector<std::size_t> plan_rdv(std::size_t len) const override {
+    if (!opts_.adaptive_split) return sampling_.split_even(len);
+    return sampling_.split(len, opts_.min_split_chunk);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind, const Sampling& sampling,
+                                        const StrategyOptions& opts) {
+  switch (kind) {
+    case StrategyKind::Default: return std::make_unique<StratDefault>(sampling, opts);
+    case StrategyKind::Aggreg: return std::make_unique<StratAggreg>(sampling, opts);
+    case StrategyKind::SplitBalance: return std::make_unique<StratSplitBalance>(sampling, opts);
+  }
+  NMX_FAIL("unknown strategy kind");
+}
+
+}  // namespace nmx::nmad

@@ -1,0 +1,62 @@
+// Scheduling strategies (§2.2): how accumulated protocol entries are packed
+// into wire messages once a NIC becomes idle, and how rendezvous payloads are
+// distributed over rails.
+//
+//  * Default      — FIFO, one entry per wire message, fastest rail only.
+//  * Aggreg       — aggregates small entries sharing a destination into one
+//                   wire message (the paper's "messages aggregation").
+//  * SplitBalance — Aggreg behaviour for small traffic, plus the adaptive
+//                   multirail split ratio from sampling for rendezvous data
+//                   ("distribute the message chunks across the multiple
+//                   networks in case of large messages", §4.1.1).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nmad/sampling.hpp"
+#include "nmad/wire.hpp"
+
+namespace nmx::nmad {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Queue a protocol entry. The strategy assigns the rail for small
+  /// entries; RdvChunk entries arrive with their rail already planned.
+  virtual void enqueue(Entry e) = 0;
+
+  /// Build the next wire message for idle local rail `rail`, or nullopt if
+  /// nothing is queued for it.
+  virtual std::optional<WireMsg> next(int rail, int src_proc) = 0;
+
+  /// Any entries waiting on any rail?
+  virtual bool pending() const = 0;
+
+  /// Byte share per local rail for a rendezvous payload of `len` bytes.
+  virtual std::vector<std::size_t> plan_rdv(std::size_t len) const = 0;
+
+  std::size_t packets_built() const { return packets_built_; }
+  std::size_t entries_sent() const { return entries_sent_; }
+
+ protected:
+  std::size_t packets_built_ = 0;
+  std::size_t entries_sent_ = 0;
+};
+
+struct StrategyOptions {
+  std::size_t max_aggregate = calib::kNmadMaxAggregate;
+  std::size_t min_split_chunk = 16_KiB;
+  /// Ablation switch: use the naive even split instead of the adaptive one.
+  bool adaptive_split = true;
+};
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind, const Sampling& sampling,
+                                        const StrategyOptions& opts);
+
+}  // namespace nmx::nmad

@@ -1,0 +1,84 @@
+// Basic NewMadeleine types: tags, requests, configuration.
+//
+// The request object mirrors the paper's description (§2.2.1): "requests are
+// opaque objects allocated internally each time a send or receive operation
+// is submitted. Once this object is created, the user can query NewMadeleine
+// in order to get information about a request's completion." — and, crucially
+// for the any-source machinery in CH3 (§3.2), "NewMadeleine does not yet
+// support the cancellation of a posted request", which we preserve: there is
+// deliberately no cancel() here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+
+#include "common/units.hpp"
+#include "net/calibration.hpp"
+
+namespace nmx::nmad {
+
+/// Message tag. CH3 packs (context id, MPI tag) into this.
+using Tag = std::uint64_t;
+
+/// Tag filter: matches when (tag & mask) == value. An all-ones mask is an
+/// exact match; masking out low bits probes "any user tag in this context".
+struct TagSelector {
+  Tag value = 0;
+  Tag mask = 0;
+  bool matches(Tag t) const { return (t & mask) == value; }
+  static TagSelector exact(Tag t) { return {t, ~Tag{0}}; }
+  static TagSelector any() { return {0, 0}; }
+};
+
+enum class StrategyKind {
+  Default,       ///< FIFO, one packet per wire message, single rail
+  Aggreg,        ///< aggregates small packets per destination (§2.2)
+  SplitBalance,  ///< multirail: fast rail for small, adaptive split for large (§2.2, [4])
+};
+
+struct Request {
+  enum class Kind { Send, Recv };
+
+  Kind kind = Kind::Send;
+  int peer = -1;
+  Tag tag = 0;
+  bool completed = false;
+  void* user_ctx = nullptr;  ///< upper-layer request (the CH3 pointer of §3.1.1)
+  std::size_t len = 0;       ///< posted length (recv: buffer capacity)
+
+  // receive side
+  std::byte* rbuf = nullptr;
+  std::size_t received = 0;  ///< actual message size once completed
+
+  // send side
+  const std::byte* sbuf = nullptr;
+  std::size_t chunks_outstanding = 0;  ///< rendezvous chunks not yet on the wire
+  std::uint64_t rdv_id = 0;            ///< nonzero while in rendezvous
+
+  std::list<Request>::iterator self;  ///< owner-list position (for release)
+};
+
+struct Config {
+  /// Fabric rail indices this core drives (local rail i = rails[i]).
+  std::vector<int> rails{0};
+  StrategyKind strategy = StrategyKind::Aggreg;
+  std::size_t rdv_threshold = calib::kNmadRdvThreshold;
+  std::size_t max_aggregate = calib::kNmadMaxAggregate;
+  /// Minimum rendezvous chunk worth putting on an extra rail.
+  std::size_t min_split_chunk = 16_KiB;
+  Time sw_send = calib::kNmadSwSend;
+  Time sw_recv = calib::kNmadSwRecv;
+  /// PIOMan integration: thread-safe request lists + driver locks cost ~2µs
+  /// per message (§4.1.2), charged half on injection, half on completion.
+  bool pioman_sync = false;
+
+  Time inject_overhead() const {
+    return sw_send + (pioman_sync ? calib::kPiomanNetOverhead / 2 : 0.0);
+  }
+  Time deliver_overhead() const {
+    return sw_recv + (pioman_sync ? calib::kPiomanNetOverhead / 2 : 0.0);
+  }
+};
+
+}  // namespace nmx::nmad

@@ -1,0 +1,75 @@
+// NewMadeleine wire format: the protocol units ("entries") strategies queue,
+// and the wire message (packet wrapper) a strategy builds for one NIC
+// submission. A wire message may aggregate several entries for the same
+// destination — that is the whole point of the uncoupled request submission
+// described in §2.2: "when a network becomes idle, it has the possibility to
+// apply optimizations on the accumulated communication requests".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "nmad/types.hpp"
+
+namespace nmx::nmad {
+
+/// One protocol unit queued toward a destination.
+struct Entry {
+  enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk };
+
+  Kind kind = Kind::Eager;
+  int dst_proc = -1;
+  Tag tag = 0;
+  /// Per-(destination, tag) sequence number stamped on Eager and Rts so the
+  /// receiver matches in MPI send order even across rails.
+  std::uint32_t seq = 0;
+  std::uint64_t rdv_id = 0;     ///< Rts / Cts / RdvChunk
+  std::size_t rdv_total = 0;    ///< Rts: full message size
+  std::size_t offset = 0;       ///< RdvChunk: position in the message
+  std::vector<std::byte> bytes; ///< Eager payload or RdvChunk data
+  Request* sreq = nullptr;      ///< sender request to progress at egress
+  int rail = 0;                 ///< local rail, assigned by the strategy
+
+  /// Header cost of this entry on the wire.
+  std::size_t header_bytes() const {
+    switch (kind) {
+      case Kind::Eager: return 16;
+      case Kind::Rts: return 32;
+      case Kind::Cts: return 16;
+      case Kind::RdvChunk: return 16;
+    }
+    return 16;
+  }
+  std::size_t wire_bytes() const { return header_bytes() + bytes.size(); }
+};
+
+/// One NIC submission: entries aggregated for a single destination.
+struct WireMsg {
+  int src_proc = -1;
+  int dst_proc = -1;
+  std::vector<Entry> entries;
+
+  std::size_t wire_bytes() const {
+    return std::accumulate(entries.begin(), entries.end(), std::size_t{0},
+                           [](std::size_t a, const Entry& e) { return a + e.wire_bytes(); });
+  }
+  /// Bytes that were memcpy'd into the packet wrapper (eager payloads) —
+  /// charged at host copy bandwidth on submission.
+  std::size_t copied_bytes() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries)
+      if (e.kind == Entry::Kind::Eager) n += e.bytes.size();
+    return n;
+  }
+  /// Rendezvous payload bytes (zero-copy, but need registration on IB).
+  std::size_t rdv_bytes() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries)
+      if (e.kind == Entry::Kind::RdvChunk) n += e.bytes.size();
+    return n;
+  }
+};
+
+}  // namespace nmx::nmad

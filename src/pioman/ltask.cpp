@@ -1,0 +1,16 @@
+#include "pioman/ltask.hpp"
+
+#include "common/assert.hpp"
+
+namespace nmx::pioman {
+
+bool Ltask::step() {
+  NMX_ASSERT(state_ == LtaskState::Scheduled || state_ == LtaskState::Created);
+  state_ = LtaskState::Running;
+  ++runs_;
+  const bool again = body_();
+  state_ = LtaskState::Scheduled;  // persistent pollable: parked, not done
+  return again;
+}
+
+}  // namespace nmx::pioman

@@ -1,0 +1,51 @@
+// PIOMan ltasks: the unit of background progression work (§2.2.2).
+//
+// Real PIOMan submits small polling tasks ("ltasks") to the Marcel thread
+// scheduler, which runs them on whatever core is idle, on context switches
+// and on timer interrupts. Here an ltask is a callback with a state machine
+// and an optional repetition: the Manager runs ready ltasks at its reaction
+// points, and an ltask that reports more pending work is rescheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nmx::pioman {
+
+enum class LtaskState : std::uint8_t {
+  Created,    ///< not yet submitted
+  Scheduled,  ///< waiting for a reaction point
+  Running,    ///< body executing
+  Done,       ///< completed, will not run again
+};
+
+class Ltask {
+ public:
+  /// The body returns true while it believes more gated work remains — the
+  /// Manager then schedules another reaction without waiting for a new
+  /// notification. Poll tasks are persistent: returning false parks the
+  /// task until the next notify(), it does not complete it.
+  using Body = std::function<bool()>;
+
+  Ltask(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  LtaskState state() const { return state_; }
+  std::uint64_t runs() const { return runs_; }
+
+  /// Permanently retire the task (e.g. endpoint teardown).
+  void complete() { state_ = LtaskState::Done; }
+
+  /// Execute one step. Returns true if more work may remain.
+  bool step();
+
+ private:
+  friend class Manager;
+  std::string name_;
+  Body body_;
+  LtaskState state_ = LtaskState::Created;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace nmx::pioman

@@ -1,0 +1,35 @@
+#include "pioman/pioman.hpp"
+
+namespace nmx::pioman {
+
+Manager::Manager(sim::Engine& eng, ManagerConfig cfg) : eng_(eng), cfg_(cfg) {}
+
+Ltask& Manager::submit(std::string name, Ltask::Body body) {
+  tasks_.push_back(std::make_unique<Ltask>(std::move(name), std::move(body)));
+  tasks_.back()->state_ = LtaskState::Scheduled;
+  return *tasks_.back();
+}
+
+void Manager::notify() {
+  if (scheduled_) return;
+  scheduled_ = true;
+  eng_.schedule_in(cfg_.reaction_period, [this] {
+    scheduled_ = false;
+    service();
+  });
+}
+
+void Manager::service() {
+  if (sim::Tracer* tr = eng_.tracer()) {
+    tr->record(eng_.now(), -1, sim::TraceCat::PiomanPass);
+  }
+  ++passes_;
+  bool more = false;
+  for (auto& t : tasks_) {
+    if (t->state() == LtaskState::Done) continue;
+    if (t->step()) more = true;
+  }
+  if (more) notify();
+}
+
+}  // namespace nmx::pioman

@@ -1,0 +1,103 @@
+#include "rcache/rcache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nmx::rcache {
+
+RegistrationCache::RegistrationCache(std::size_t capacity_bytes, CostFn cost)
+    : capacity_(capacity_bytes), cost_(std::move(cost)) {
+  NMX_ASSERT(capacity_ > 0);
+  NMX_ASSERT(cost_ != nullptr);
+}
+
+void RegistrationCache::touch(Map::iterator it) {
+  lru_.erase(it->second.lru);
+  lru_.push_front(it->first);
+  it->second.lru = lru_.begin();
+}
+
+void RegistrationCache::erase_region(Map::iterator it) {
+  pinned_bytes_ -= it->second.end - it->first;
+  lru_.erase(it->second.lru);
+  regions_.erase(it);
+}
+
+void RegistrationCache::evict_down_to(std::size_t budget, std::uintptr_t protect_begin,
+                                      std::uintptr_t protect_end) {
+  while (pinned_bytes_ > budget && !lru_.empty()) {
+    // Walk from the LRU end, skipping the region we are in the middle of
+    // installing/using.
+    auto lit = std::prev(lru_.end());
+    bool evicted = false;
+    while (true) {
+      auto it = regions_.find(*lit);
+      NMX_ASSERT(it != regions_.end());
+      if (it->first >= protect_end || it->second.end <= protect_begin) {
+        ++evictions_;
+        erase_region(it);
+        evicted = true;
+        break;
+      }
+      if (lit == lru_.begin()) break;
+      --lit;
+    }
+    if (!evicted) break;  // everything pinned is protected; over-budget stays
+  }
+}
+
+Time RegistrationCache::acquire(std::uintptr_t addr, std::size_t len) {
+  NMX_ASSERT(len > 0);
+  const std::uintptr_t begin = addr;
+  const std::uintptr_t end = addr + len;
+
+  // Collect overlapping (or touching) regions: they merge with the request.
+  auto it = regions_.upper_bound(begin);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end >= begin) it = prev;
+  }
+  std::uintptr_t merged_begin = begin;
+  std::uintptr_t merged_end = end;
+  std::size_t covered = 0;
+  while (it != regions_.end() && it->first <= merged_end) {
+    merged_begin = std::min(merged_begin, it->first);
+    merged_end = std::max(merged_end, it->second.end);
+    const std::uintptr_t ov_b = std::max(it->first, begin);
+    const std::uintptr_t ov_e = std::min(it->second.end, end);
+    if (ov_e > ov_b) covered += ov_e - ov_b;
+    auto next = std::next(it);
+    erase_region(it);
+    it = next;
+  }
+
+  NMX_ASSERT(covered <= len);
+  const std::size_t uncovered = len - covered;
+  Time t = 0;
+  if (uncovered == 0) {
+    ++hits_;
+  } else {
+    ++misses_;
+    t = cost_(uncovered);
+  }
+
+  // Install the merged region as most-recently-used.
+  lru_.push_front(merged_begin);
+  Region r;
+  r.end = merged_end;
+  r.lru = lru_.begin();
+  pinned_bytes_ += merged_end - merged_begin;
+  regions_.emplace(merged_begin, r);
+
+  evict_down_to(capacity_, merged_begin, merged_end);
+  return t;
+}
+
+void RegistrationCache::clear() {
+  regions_.clear();
+  lru_.clear();
+  pinned_bytes_ = 0;
+}
+
+}  // namespace nmx::rcache

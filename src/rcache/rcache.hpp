@@ -1,0 +1,68 @@
+// Memory registration (pin-down) cache, as used by InfiniBand MPI stacks.
+//
+// The MVAPICH2-like baseline registers user buffers once and reuses the
+// registration on later transfers from the same buffer — which is why it
+// posts the best large-message bandwidth in Figure 4b. NewMadeleine
+// deliberately has no such cache ("registers dynamically and on-the-fly",
+// §4.1.1) and pays the pinning cost on every rendezvous; the gap between the
+// two curves at large sizes is exactly this module being on or off.
+//
+// Model: byte-interval granularity with LRU eviction by capacity. The caller
+// provides the cost function (pages → time) so the cache stays independent of
+// the NIC model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+
+#include "common/units.hpp"
+
+namespace nmx::rcache {
+
+class RegistrationCache {
+ public:
+  using CostFn = std::function<Time(std::size_t bytes)>;
+
+  /// `capacity_bytes`: total pinned memory allowed before LRU eviction.
+  /// `cost`: time to register a contiguous range of the given size.
+  RegistrationCache(std::size_t capacity_bytes, CostFn cost);
+
+  /// Ensure [addr, addr+len) is registered. Returns the registration time
+  /// to charge now: zero when the interval is fully cached (a hit).
+  Time acquire(std::uintptr_t addr, std::size_t len);
+
+  /// Drop every cached registration (e.g. simulated process teardown).
+  void clear();
+
+  std::size_t pinned_bytes() const { return pinned_bytes_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  struct Region;
+  using Map = std::map<std::uintptr_t, Region>;  // keyed by region start
+  struct Region {
+    std::uintptr_t end = 0;
+    std::list<std::uintptr_t>::iterator lru;  // position in lru_ (stores start key)
+  };
+
+  void touch(Map::iterator it);
+  void erase_region(Map::iterator it);
+  void evict_down_to(std::size_t budget, std::uintptr_t protect_begin,
+                     std::uintptr_t protect_end);
+
+  std::size_t capacity_;
+  CostFn cost_;
+  Map regions_;
+  std::list<std::uintptr_t> lru_;  // front = most recent
+  std::size_t pinned_bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace nmx::rcache

@@ -1,0 +1,43 @@
+#include "sim/condition.hpp"
+
+#include <algorithm>
+
+namespace nmx::sim {
+
+void Condition::wait(Actor& self) {
+  waiters_.push_back(&self);
+  self.block();
+  remove(self);
+}
+
+bool Condition::wait_until(Actor& self, Time deadline) {
+  waiters_.push_back(&self);
+  const bool woken = self.block_until(deadline);
+  remove(self);
+  return woken;
+}
+
+void Condition::notify_one() {
+  while (!waiters_.empty()) {
+    Actor* a = waiters_.front();
+    waiters_.pop_front();
+    if (!a->finished()) {
+      a->wake();
+      return;
+    }
+  }
+}
+
+void Condition::notify_all() {
+  auto ws = std::move(waiters_);
+  waiters_.clear();
+  for (Actor* a : ws) {
+    if (!a->finished()) a->wake();
+  }
+}
+
+void Condition::remove(Actor& a) {
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &a), waiters_.end());
+}
+
+}  // namespace nmx::sim

@@ -1,0 +1,40 @@
+// Simulated condition variable: lets an actor wait for a predicate that an
+// engine callback or another actor will establish. Because the simulation has
+// single-threaded semantics there are no races between checking a predicate
+// and waiting — but callers should still loop on their predicate, since
+// notify_all wakes every waiter.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace nmx::sim {
+
+class Condition {
+ public:
+  Condition() = default;
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Block `self` until notified.
+  void wait(Actor& self);
+
+  /// Block `self` until notified or `deadline`. Returns false on timeout.
+  bool wait_until(Actor& self, Time deadline);
+
+  /// Wake the longest-waiting actor (FIFO), if any.
+  void notify_one();
+
+  /// Wake every waiting actor.
+  void notify_all();
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  void remove(Actor& a);
+  std::deque<Actor*> waiters_;
+};
+
+}  // namespace nmx::sim

@@ -1,0 +1,194 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace nmx::sim {
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+Actor::Actor(Engine& eng, std::string name, std::function<void(Actor&)> body)
+    : engine_(eng), name_(std::move(name)) {
+  thread_ = std::thread([this, body = std::move(body)]() mutable { thread_main(std::move(body)); });
+}
+
+Actor::~Actor() { request_stop(); }
+
+void Actor::thread_main(std::function<void(Actor&)> body) {
+  // Wait for the first token before touching any simulation state.
+  {
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] { return token_ || stop_; });
+    if (stop_) {
+      returned_ = true;
+      cv_.notify_all();
+      return;
+    }
+    token_ = false;
+  }
+  state_ = State::Running;
+  try {
+    body(*this);
+  } catch (StopToken&) {
+    // engine teardown: fall through and exit quietly
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  state_ = State::Finished;
+  std::unique_lock lk(m_);
+  returned_ = true;
+  cv_.notify_all();
+}
+
+void Actor::yield_to_engine() {
+  std::unique_lock lk(m_);
+  returned_ = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return token_ || stop_; });
+  if (stop_) throw StopToken{};
+  token_ = false;
+}
+
+void Actor::grant_token() {
+  {
+    std::unique_lock lk(m_);
+    token_ = true;
+    returned_ = false;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return returned_; });
+  }
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Actor::request_stop() {
+  {
+    std::unique_lock lk(m_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+}
+
+void Actor::sleep_until(Time t) {
+  NMX_ASSERT_MSG(state_ == State::Running, "sleep_until outside the actor's own thread");
+  state_ = State::Blocked;
+  interruptible_ = false;
+  woken_ = false;
+  const auto gen = ++generation_;
+  engine_.schedule(t, [this, gen] {
+    if (state_ == State::Blocked && generation_ == gen) {
+      woken_ = true;
+      engine_.resume(*this);
+    }
+  });
+  yield_to_engine();
+  state_ = State::Running;
+}
+
+void Actor::sleep_for(Time dt) { sleep_until(engine_.now() + dt); }
+
+void Actor::block() {
+  NMX_ASSERT_MSG(state_ == State::Running, "block outside the actor's own thread");
+  state_ = State::Blocked;
+  interruptible_ = true;
+  woken_ = false;
+  ++generation_;
+  yield_to_engine();
+  state_ = State::Running;
+  interruptible_ = false;
+}
+
+bool Actor::block_until(Time deadline) {
+  NMX_ASSERT_MSG(state_ == State::Running, "block_until outside the actor's own thread");
+  state_ = State::Blocked;
+  interruptible_ = true;
+  woken_ = false;
+  const auto gen = ++generation_;
+  engine_.schedule(deadline, [this, gen] {
+    if (state_ == State::Blocked && generation_ == gen && !woken_) {
+      engine_.resume(*this);  // timeout path: woken_ stays false
+    }
+  });
+  yield_to_engine();
+  state_ = State::Running;
+  interruptible_ = false;
+  return woken_;
+}
+
+void Actor::wake() {
+  if (state_ != State::Blocked || !interruptible_ || woken_) return;
+  woken_ = true;
+  const auto gen = generation_;
+  engine_.schedule(engine_.now(), [this, gen] {
+    if (state_ == State::Blocked && generation_ == gen) engine_.resume(*this);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::~Engine() {
+  // Stop actors before destroying the event storage they may reference.
+  for (auto& a : actors_) a->request_stop();
+}
+
+EventId Engine::schedule(Time t, EventFn fn) {
+  NMX_ASSERT(fn != nullptr);
+  // Floating-point composition can land an instant before `now`; clamp
+  // rather than violate monotonicity.
+  t = std::max(t, now_);
+  const EventId id = next_id_++;
+  events_.emplace(id, std::move(fn));
+  queue_.push(QEntry{t, seq_++, id});
+  return id;
+}
+
+void Engine::cancel(EventId id) { events_.erase(id); }
+
+Actor& Engine::spawn(std::string name, std::function<void(Actor&)> body) {
+  actors_.emplace_back(std::unique_ptr<Actor>(new Actor(*this, std::move(name), std::move(body))));
+  Actor* a = actors_.back().get();
+  schedule(now_, [this, a] {
+    if (!a->finished()) resume(*a);
+  });
+  return *a;
+}
+
+void Engine::resume(Actor& a) {
+  NMX_ASSERT_MSG(current_ == nullptr, "nested actor resume");
+  current_ = &a;
+  a.grant_token();  // may rethrow an actor-body exception
+  current_ = nullptr;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    const QEntry e = queue_.top();
+    queue_.pop();
+    auto it = events_.find(e.id);
+    if (it == events_.end()) continue;  // cancelled
+    EventFn fn = std::move(it->second);
+    events_.erase(it);
+    NMX_ASSERT_MSG(e.t >= now_, "event queue went backwards in time");
+    now_ = e.t;
+    ++processed_;
+    fn();
+  }
+  std::string stuck;
+  for (auto& a : actors_) {
+    if (!a->finished()) stuck += " " + a->name();
+  }
+  if (!stuck.empty()) {
+    throw DeadlockError("simulation deadlock at t=" + std::to_string(now_) +
+                        "s; blocked actors:" + stuck);
+  }
+}
+
+}  // namespace nmx::sim

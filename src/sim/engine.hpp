@@ -1,0 +1,179 @@
+// Discrete-event simulation core.
+//
+// Execution model (the SMPI/SimGrid methodology): simulated processes (MPI
+// ranks, PIOMan progress engines, ...) run as *actors* — real std::threads
+// that hold the "baton" one at a time. The engine thread pops timestamped
+// events off a priority queue; an event is either a plain callback (protocol
+// handlers: packet arrival, NIC completion, ...) or the resumption of a
+// blocked actor. While an actor runs, the engine thread waits; while the
+// engine runs, every actor waits. The whole simulation therefore has
+// single-threaded semantics — stack code needs no locking — yet application
+// code (NAS kernels, examples) is written in natural blocking style.
+//
+// Virtual time only advances in the engine loop. Determinism is total:
+// same inputs => same event order => identical timing results.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace nmx::sim {
+
+class Engine;
+
+using EventFn = std::function<void()>;
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+/// Thrown by Engine::run when the event queue drains while actors are still
+/// blocked — i.e. the simulated program deadlocked. The message lists the
+/// stuck actors, which makes protocol bugs (lost wakeups, missing CTS, ...)
+/// easy to localize in tests.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A simulated thread of execution. Created via Engine::spawn; the body runs
+/// on a dedicated OS thread but only while the actor holds the baton.
+class Actor {
+ public:
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  ~Actor();
+
+  const std::string& name() const { return name_; }
+  Engine& engine() { return engine_; }
+
+  // --- callable from the actor's own thread only -------------------------
+
+  /// Advance this actor's virtual time to `t` (models computation / sleep).
+  /// Not interruptible by wake().
+  void sleep_until(Time t);
+  /// Convenience: sleep_until(now + dt).
+  void sleep_for(Time dt);
+
+  /// Block until another party calls wake(). Callers must re-check their
+  /// predicate in a loop; block() itself carries no payload.
+  void block();
+
+  /// Block until wake() or until virtual `deadline`, whichever comes first.
+  /// Returns true if woken, false on timeout.
+  bool block_until(Time deadline);
+
+  // --- callable from engine callbacks or other actors --------------------
+
+  /// Make a blocked actor runnable again (resumed at the current virtual
+  /// time). No-op if the actor is not blocked, is sleeping, or was already
+  /// woken — so completion handlers may call it unconditionally.
+  void wake();
+
+  bool finished() const { return state_ == State::Finished; }
+  bool blocked() const { return state_ == State::Blocked; }
+
+ private:
+  friend class Engine;
+  enum class State { Ready, Running, Blocked, Finished };
+  struct StopToken {};  // thrown into the actor thread on engine teardown
+
+  Actor(Engine& eng, std::string name, std::function<void(Actor&)> body);
+
+  void thread_main(std::function<void(Actor&)> body);
+  void yield_to_engine();  // actor thread: return baton, wait for next token
+  void grant_token();      // engine thread: hand baton over, wait for return
+  void request_stop();     // engine thread: unblock + join for shutdown
+
+  Engine& engine_;
+  std::string name_;
+  State state_ = State::Ready;
+  std::uint64_t generation_ = 0;  // invalidates stale resume events
+  bool woken_ = false;            // resumed by wake() (vs. timer)
+  bool interruptible_ = false;    // wake() honored only while true
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool token_ = false;     // actor may run
+  bool returned_ = true;   // actor has yielded the baton back
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+class Tracer;
+
+/// The event-driven heart of the simulator.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time in seconds.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run on the engine thread at virtual time `t`
+  /// (clamped to now; events at equal times run in scheduling order).
+  EventId schedule(Time t, EventFn fn);
+  /// Schedule `fn` `dt` seconds from now.
+  EventId schedule_in(Time dt, EventFn fn) { return schedule(now_ + dt, std::move(fn)); }
+  /// Cancel a pending event. No-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Create an actor whose body starts at the current virtual time.
+  /// Safe to call both before run() and from inside the simulation.
+  Actor& spawn(std::string name, std::function<void(Actor&)> body);
+
+  /// Run the simulation to completion. Throws DeadlockError if actors
+  /// remain blocked with no pending events; rethrows any exception that
+  /// escaped an actor body or event callback.
+  void run();
+
+  std::size_t events_processed() const { return processed_; }
+
+  /// Attach an event tracer (sim/trace.hpp). Null disables tracing; the
+  /// pointer is not owned and must outlive the simulation.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() { return tracer_; }
+  /// Actor currently holding the baton, or nullptr when an event callback
+  /// (engine context) is running.
+  Actor* current_actor() { return current_; }
+
+ private:
+  friend class Actor;
+  void resume(Actor& a);
+
+  struct QEntry {
+    Time t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const QEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
+  std::unordered_map<EventId, EventFn> events_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  Actor* current_ = nullptr;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace nmx::sim

@@ -1,0 +1,42 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace nmx::sim {
+
+const char* to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::MpiSend: return "MPI_SEND";
+    case TraceCat::MpiRecv: return "MPI_RECV";
+    case TraceCat::MpiWait: return "MPI_WAIT";
+    case TraceCat::MpiColl: return "MPI_COLL";
+    case TraceCat::NmadTx: return "NMAD_TX";
+    case TraceCat::NmadRx: return "NMAD_RX";
+    case TraceCat::NmadRdv: return "NMAD_RDV";
+    case TraceCat::ShmCell: return "SHM_CELL";
+    case TraceCat::PiomanPass: return "PIOM_PASS";
+    case TraceCat::Compute: return "COMPUTE";
+  }
+  return "?";
+}
+
+std::map<TraceCat, Tracer::CatSummary> Tracer::summary() const {
+  std::map<TraceCat, CatSummary> out;
+  for (const Event& e : events_) {
+    CatSummary& s = out[e.cat];
+    ++s.count;
+    s.bytes += e.bytes;
+  }
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  os << "# t_us rank category bytes aux\n";
+  for (const Event& e : events_) {
+    os << std::fixed << std::setprecision(3) << e.t * 1e6 << ' ' << e.rank << ' '
+       << to_string(e.cat) << ' ' << e.bytes << ' ' << e.a << '\n';
+  }
+}
+
+}  // namespace nmx::sim

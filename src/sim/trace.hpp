@@ -1,0 +1,69 @@
+// Event tracing — the simulator's stand-in for the PM2 suite's FxT trace
+// machinery. When a Tracer is attached to the Engine, instrumented layers
+// (MPI calls, NewMadeleine submissions/deliveries, PIOMan service passes,
+// Nemesis cells) record timestamped events. Dumps are a Paje-flavoured text
+// format readable by humans and greppable by scripts; summary() aggregates
+// per-category counts and bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nmx::sim {
+
+enum class TraceCat : std::uint8_t {
+  MpiSend,      ///< MPI-level send posted
+  MpiRecv,      ///< MPI-level receive posted
+  MpiWait,      ///< blocking wait entered
+  MpiColl,      ///< collective operation
+  NmadTx,       ///< NewMadeleine wire packet submitted to a NIC
+  NmadRx,       ///< NewMadeleine wire packet handled
+  NmadRdv,      ///< internal rendezvous started
+  ShmCell,      ///< Nemesis cell enqueued
+  PiomanPass,   ///< PIOMan service pass
+  Compute,      ///< application compute block
+};
+
+const char* to_string(TraceCat cat);
+
+class Tracer {
+ public:
+  struct Event {
+    Time t = 0;
+    int rank = -1;
+    TraceCat cat = TraceCat::MpiSend;
+    std::size_t bytes = 0;
+    std::int64_t a = 0;  ///< category-specific (peer, tag, rail, ...)
+  };
+
+  struct CatSummary {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void record(Time t, int rank, TraceCat cat, std::size_t bytes = 0, std::int64_t a = 0) {
+    events_.push_back(Event{t, rank, cat, bytes, a});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Per-category totals.
+  std::map<TraceCat, CatSummary> summary() const;
+
+  /// Paje-flavoured text dump: one line per event,
+  /// `t_us  rank  CATEGORY  bytes  aux`.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace nmx::sim

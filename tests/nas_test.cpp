@@ -1,0 +1,184 @@
+// Mini-NAS kernel tests: every kernel runs on every stack (class S, full
+// iterations, validation stamps on), scaling sanity, square-count
+// enforcement, and extrapolation consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpi/cluster.hpp"
+#include "nas/grid.hpp"
+#include "nas/nas.hpp"
+
+namespace nmx::nas {
+namespace {
+
+mpi::ClusterConfig testbed(mpi::StackKind stack, int procs, bool pioman = false) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 10;
+  cfg.procs = procs;
+  cfg.cyclic_mapping = true;
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  return cfg;
+}
+
+struct KernelCase {
+  std::string kernel;
+  mpi::StackKind stack;
+  int procs;
+};
+
+class KernelRuns : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelRuns, ClassSCompletesWithValidation) {
+  const auto& p = GetParam();
+  mpi::Cluster cluster(testbed(p.stack, p.procs));
+  NasConfig cfg;
+  cfg.cls = NasClass::S;
+  cfg.validate = true;
+  const NasResult r = run_nas(cluster, p.kernel, cfg);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.procs, p.procs);
+}
+
+std::vector<KernelCase> kernel_cases() {
+  std::vector<KernelCase> cases;
+  for (const auto& k : all_kernels()) {
+    const bool square = (k == "BT" || k == "SP");
+    for (int procs : {4, 8, 9, 16, 25, 36}) {
+      const int root = static_cast<int>(std::lround(std::sqrt(procs)));
+      if (square && root * root != procs) continue;
+      if (!square && (procs == 9 || procs == 25)) continue;
+      for (auto stack : {mpi::StackKind::Mpich2Nmad, mpi::StackKind::Mvapich2,
+                         mpi::StackKind::OpenMpiBtlIb}) {
+        cases.push_back({k, stack, procs});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelRuns, ::testing::ValuesIn(kernel_cases()),
+                         [](const auto& info) {
+                           std::string s = mpi::to_string(info.param.stack);
+                           std::erase(s, '-');
+                           return info.param.kernel + "_" + s + "_p" +
+                                  std::to_string(info.param.procs);
+                         });
+
+TEST(KernelRuns, PiomanVariantCompletesIncludingPaperDeadlockCases) {
+  // The paper could not run MG, LU or 64 processes with PIOMan (§4.2);
+  // our implementation must.
+  for (const char* k : {"MG", "LU"}) {
+    mpi::Cluster cluster(testbed(mpi::StackKind::Mpich2Nmad, 8, /*pioman=*/true));
+    NasConfig cfg;
+    cfg.cls = NasClass::S;
+    EXPECT_GT(run_nas(cluster, k, cfg).seconds, 0.0) << k;
+  }
+  mpi::Cluster cluster64(testbed(mpi::StackKind::Mpich2Nmad, 64, /*pioman=*/true));
+  NasConfig cfg;
+  cfg.cls = NasClass::S;
+  EXPECT_GT(run_nas(cluster64, "CG", cfg).seconds, 0.0);
+}
+
+TEST(KernelScaling, MoreProcessesRunFaster) {
+  for (const auto& k : all_kernels()) {
+    const bool square = (k == "BT" || k == "SP");
+    const int p_small = square ? 4 : 4;
+    const int p_large = square ? 16 : 16;
+    NasConfig cfg;
+    cfg.cls = NasClass::S;
+    mpi::Cluster small(testbed(mpi::StackKind::Mpich2Nmad, p_small));
+    mpi::Cluster large(testbed(mpi::StackKind::Mpich2Nmad, p_large));
+    const double t_small = run_nas(small, k, cfg).seconds;
+    const double t_large = run_nas(large, k, cfg).seconds;
+    EXPECT_LT(t_large, t_small) << k << " does not scale";
+  }
+}
+
+TEST(KernelScaling, ClassesOrderedByWork) {
+  NasConfig s_cfg, a_cfg;
+  s_cfg.cls = NasClass::S;
+  a_cfg.cls = NasClass::A;
+  a_cfg.iter_fraction = 0.2;
+  mpi::Cluster c1(testbed(mpi::StackKind::Mpich2Nmad, 8));
+  mpi::Cluster c2(testbed(mpi::StackKind::Mpich2Nmad, 8));
+  const double t_s = run_nas(c1, "CG", s_cfg).seconds;
+  const double t_a = run_nas(c2, "CG", a_cfg).seconds;
+  EXPECT_GT(t_a, t_s * 10);
+}
+
+TEST(KernelScaling, ExtrapolationIsConsistent) {
+  // Running a fraction of the iterations and extrapolating must land close
+  // to the full run (the timed loop is steady-state).
+  NasConfig full, frac;
+  full.cls = NasClass::S;
+  frac.cls = NasClass::S;
+  frac.iter_fraction = 0.25;
+  mpi::Cluster c1(testbed(mpi::StackKind::Mpich2Nmad, 8));
+  mpi::Cluster c2(testbed(mpi::StackKind::Mpich2Nmad, 8));
+  const double t_full = run_nas(c1, "FT", full).seconds;
+  const double t_frac = run_nas(c2, "FT", frac).seconds;
+  EXPECT_NEAR(t_frac, t_full, 0.15 * t_full);
+}
+
+TEST(KernelRuns, SquareKernelsRejectNonSquareCounts) {
+  mpi::Cluster cluster(testbed(mpi::StackKind::Mpich2Nmad, 8));
+  NasConfig cfg;
+  cfg.cls = NasClass::S;
+  EXPECT_THROW(run_nas(cluster, "BT", cfg), AssertionError);
+}
+
+TEST(MemBw, DilationKicksInAboveTwoLocalRanks) {
+  sim::Engine eng;
+  // Build Comms by hand would need a transport; instead exercise the
+  // formula through a tiny cluster: 8 ranks on 2 nodes = 4 per node.
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 8;
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  mpi::Cluster cluster(cfg);
+  cluster.run([&](mpi::Comm& c) {
+    EXPECT_EQ(c.local_ranks(), 4);
+    EXPECT_DOUBLE_EQ(membw_dilation(c, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(membw_dilation(c, 1.0), 1.5);
+  });
+}
+
+TEST(Grids, Grid2DFactorsAndNeighbors) {
+  const Grid2D g = Grid2D::make(5, 12);  // 3x4 grid, rank 5 = (x=2, y=1)
+  EXPECT_EQ(g.px, 3);
+  EXPECT_EQ(g.py, 4);
+  EXPECT_EQ(g.x, 2);
+  EXPECT_EQ(g.y, 1);
+  EXPECT_EQ(g.west(), 4);
+  EXPECT_EQ(g.east(), -1);  // boundary
+  EXPECT_EQ(g.north(), 2);
+  EXPECT_EQ(g.south(), 8);
+}
+
+TEST(Grids, Grid3DCoversAllRanksUniquely) {
+  for (int procs : {8, 12, 27, 32, 64}) {
+    std::vector<int> seen(static_cast<std::size_t>(procs), 0);
+    for (int r = 0; r < procs; ++r) {
+      const Grid3D g = Grid3D::make(r, procs);
+      EXPECT_EQ(g.dims[0] * g.dims[1] * g.dims[2], procs);
+      seen[static_cast<std::size_t>(g.rank_of(g.coord))]++;
+    }
+    for (int r = 0; r < procs; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], 1) << procs;
+  }
+}
+
+TEST(Grids, Grid3DNeighborsAreInverse) {
+  const Grid3D g = Grid3D::make(13, 27);
+  for (int d = 0; d < 3; ++d) {
+    const int plus = g.neighbor(d, +1);
+    if (plus >= 0) {
+      const Grid3D n = Grid3D::make(plus, 27);
+      EXPECT_EQ(n.neighbor(d, -1), 13);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmx::nas

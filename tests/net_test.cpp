@@ -1,0 +1,154 @@
+// Network substrate tests: channel reservation, uncontended transfer math,
+// NIC contention (egress and ingress serialization), topology mappings and
+// per-process routing.
+#include <gtest/gtest.h>
+
+#include "net/calibration.hpp"
+#include "net/fabric.hpp"
+#include "net/router.hpp"
+
+namespace nmx::net {
+namespace {
+
+TEST(Channel, ReservationsSerialize) {
+  Channel ch;
+  auto a = ch.reserve(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.begin, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 2.0);
+  auto b = ch.reserve(1.0, 3.0);  // wants to start while busy
+  EXPECT_DOUBLE_EQ(b.begin, 2.0);
+  EXPECT_DOUBLE_EQ(b.end, 5.0);
+  auto c = ch.reserve(10.0, 1.0);  // idle gap
+  EXPECT_DOUBLE_EQ(c.begin, 10.0);
+}
+
+TEST(Topology, BlockedMappingFillsNodesInOrder) {
+  Topology t = Topology::blocked(3, 7, {ib_profile()});
+  // ceil(7/3) = 3 per node: 0,1,2 | 3,4,5 | 6
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(2), 0);
+  EXPECT_EQ(t.node_of(3), 1);
+  EXPECT_EQ(t.node_of(6), 2);
+  EXPECT_TRUE(t.same_node(0, 2));
+  EXPECT_FALSE(t.same_node(2, 3));
+}
+
+TEST(Topology, CyclicMappingScatters) {
+  Topology t = Topology::cyclic(10, 16, {ib_profile()});
+  for (int p = 0; p < 16; ++p) EXPECT_EQ(t.node_of(p), p % 10);
+  // "in the 8 processes case, only one process runs on a node"
+  Topology t8 = Topology::cyclic(10, 8, {ib_profile()});
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) EXPECT_FALSE(t8.same_node(a, b));
+  }
+}
+
+struct FabricFixture : ::testing::Test {
+  sim::Engine eng;
+  Topology topo = Topology::blocked(3, 3, {ib_profile()});
+  Fabric fabric{eng, topo};
+  std::vector<std::pair<Time, int>> arrivals;  // (time, src_node)
+
+  void listen(int node) {
+    fabric.register_rx(node, 0, [this](WirePacket&& p) {
+      arrivals.emplace_back(eng.now(), p.src_node);
+    });
+  }
+  WirePacket pkt(int src, int dst, std::size_t bytes) {
+    WirePacket p;
+    p.src_node = src;
+    p.dst_node = dst;
+    p.dst_proc = dst;
+    p.rail = 0;
+    p.bytes = bytes;
+    return p;
+  }
+};
+
+TEST_F(FabricFixture, UncontendedTransferMatchesModel) {
+  listen(1);
+  fabric.transmit(pkt(0, 1, 4096));
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  const NicProfile& prof = fabric.profile(0);
+  EXPECT_NEAR(arrivals[0].first, prof.wire_latency + prof.occupancy(4096), 1e-12);
+  EXPECT_NEAR(fabric.uncontended_time(0, 4096), arrivals[0].first, 1e-12);
+}
+
+TEST_F(FabricFixture, EgressSerializesSameSender) {
+  listen(1);
+  fabric.transmit(pkt(0, 1, 1 << 20));
+  fabric.transmit(pkt(0, 1, 1 << 20));
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const Time occupancy = fabric.profile(0).occupancy(1 << 20);
+  EXPECT_NEAR(arrivals[1].first - arrivals[0].first, occupancy, 1e-9);
+}
+
+TEST_F(FabricFixture, IngressSerializesDifferentSenders) {
+  // Two senders to one node: the receiving NIC is the bottleneck — this is
+  // the many-processes-per-node contention of the NAS testbed.
+  listen(2);
+  fabric.transmit(pkt(0, 2, 1 << 20));
+  fabric.transmit(pkt(1, 2, 1 << 20));
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const Time occupancy = fabric.profile(0).occupancy(1 << 20);
+  EXPECT_NEAR(arrivals[1].first - arrivals[0].first, occupancy, occupancy * 0.05);
+}
+
+TEST_F(FabricFixture, DistinctPairsDoNotContend) {
+  listen(1);
+  listen(2);
+  fabric.transmit(pkt(0, 1, 1 << 20));
+  fabric.transmit(pkt(2, 1, 64));  // tiny message into the same ingress: queues
+  eng.run();
+  // Both arrive; order by completion time.
+  ASSERT_EQ(arrivals.size(), 2u);
+}
+
+TEST_F(FabricFixture, LoopbackIsRejected) {
+  EXPECT_THROW(fabric.transmit(pkt(1, 1, 64)), AssertionError);
+}
+
+TEST(Router, DispatchesByDestinationProcess) {
+  sim::Engine eng;
+  Topology topo = Topology::blocked(2, 4, {ib_profile()});  // procs 0,1 | 2,3
+  Fabric fabric(eng, topo);
+  ProcRouter r0(fabric, 0);
+  ProcRouter r1(fabric, 1);
+  int got2 = 0, got3 = 0;
+  r1.register_proc(2, [&](WirePacket&&) { ++got2; });
+  r1.register_proc(3, [&](WirePacket&&) { ++got3; });
+  r0.register_proc(0, [](WirePacket&&) {});
+  r0.register_proc(1, [](WirePacket&&) {});
+
+  WirePacket p;
+  p.src_node = 0;
+  p.dst_node = 1;
+  p.rail = 0;
+  p.bytes = 64;
+  p.dst_proc = 2;
+  fabric.transmit(p);
+  p.dst_proc = 3;
+  fabric.transmit(p);
+  p.dst_proc = 3;
+  fabric.transmit(std::move(p));
+  eng.run();
+  EXPECT_EQ(got2, 1);
+  EXPECT_EQ(got3, 2);
+}
+
+TEST(Profiles, PaperCalibration) {
+  const NicProfile ib = ib_profile();
+  const NicProfile mx = mx_profile();
+  EXPECT_TRUE(ib.needs_registration);
+  EXPECT_FALSE(mx.needs_registration);
+  EXPECT_LT(ib.wire_latency, mx.wire_latency);  // IB is the low-latency rail
+  EXPECT_GT(ib.bandwidth, mx.bandwidth);
+  // Raw one-way small-message time ~ 1.2 us (§4.1.1).
+  EXPECT_NEAR(ib.wire_latency + ib.occupancy(1), 1.2e-6, 0.05e-6);
+}
+
+}  // namespace
+}  // namespace nmx::net

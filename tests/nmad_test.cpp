@@ -1,0 +1,375 @@
+// NewMadeleine core tests: sampling/splitting, strategies (aggregation,
+// rail selection), eager/rendezvous protocols, tag matching order, probes,
+// gated progress and the multirail data path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "net/router.hpp"
+#include "nmad/core.hpp"
+
+namespace nmx::nmad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+TEST(Sampling, FitRecoversLinkParameters) {
+  sim::Engine eng;
+  net::Topology topo = net::Topology::blocked(2, 2, {net::ib_profile(), net::mx_profile()});
+  net::Fabric fabric(eng, topo);
+  Sampling s(fabric, {0, 1});
+  ASSERT_EQ(s.num_rails(), 2u);
+  // alpha ~ wire latency + per-message; beta ~ NIC bandwidth.
+  EXPECT_NEAR(s.rails()[0].alpha, calib::kIbWireLatency + calib::kIbPerMessage, 0.1e-6);
+  EXPECT_NEAR(s.rails()[0].beta, calib::kIbBandwidth, 1e6);
+  EXPECT_NEAR(s.rails()[1].beta, calib::kMxBandwidth, 1e6);
+  EXPECT_EQ(s.fastest(), 0);  // IB has the lower latency
+}
+
+TEST(Sampling, SmallMessagesGoEntirelyToFastestRail) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 2e-6, 1e9}});
+  auto shares = s.split(4096, 16384);
+  EXPECT_EQ(shares[0], 4096u);
+  EXPECT_EQ(shares[1], 0u);
+}
+
+TEST(Sampling, EqualRailsSplitEvenly) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 1e-6, 1e9}});
+  auto shares = s.split(1 << 20, 16384);
+  EXPECT_EQ(shares[0] + shares[1], std::size_t{1} << 20);
+  EXPECT_NEAR(static_cast<double>(shares[0]), static_cast<double>(shares[1]), 2.0);
+}
+
+TEST(Sampling, AsymmetricRailsSplitProportionallyToBandwidth) {
+  Sampling s({RailPerf{0, 1e-6, 2e9}, RailPerf{1, 1e-6, 1e9}});
+  auto shares = s.split(3 << 20, 16384);
+  EXPECT_EQ(shares[0] + shares[1], std::size_t{3} << 20);
+  // Equal finish time => shares proportional to beta (alphas equal).
+  EXPECT_NEAR(static_cast<double>(shares[0]) / static_cast<double>(shares[1]), 2.0, 0.01);
+}
+
+TEST(Sampling, SlowRailDroppedWhenShareBelowMinChunk) {
+  Sampling s({RailPerf{0, 1e-6, 2e9}, RailPerf{1, 1e-6, 10e6}});  // 200x slower
+  auto shares = s.split(100000, 16384);
+  EXPECT_EQ(shares[1], 0u);  // its share would be ~500 bytes: dropped
+  EXPECT_EQ(shares[0], 100000u);
+}
+
+TEST(Sampling, SplitAccountsForAlphaDifferences) {
+  // Same bandwidth, one rail much higher latency: it gets a smaller share.
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 200e-6, 1e9}});
+  auto shares = s.split(1 << 20, 16384);
+  EXPECT_EQ(shares[0] + shares[1], std::size_t{1} << 20);
+  EXPECT_GT(shares[0], shares[1]);
+}
+
+TEST(Sampling, EvenSplitIsNaive) {
+  Sampling s({RailPerf{0, 1e-6, 2e9}, RailPerf{1, 1e-6, 1e9}});
+  auto shares = s.split_even(1000);
+  EXPECT_EQ(shares[0], 500u);
+  EXPECT_EQ(shares[1], 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+Entry eager_entry(int dst, Tag tag, std::uint32_t seq, std::size_t n) {
+  Entry e;
+  e.kind = Entry::Kind::Eager;
+  e.dst_proc = dst;
+  e.tag = tag;
+  e.seq = seq;
+  e.bytes.resize(n);
+  return e;
+}
+
+TEST(Strategy, DefaultSendsOneEntryPerPacket) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}});
+  auto strat = make_strategy(StrategyKind::Default, s, {});
+  strat->enqueue(eager_entry(1, 7, 0, 100));
+  strat->enqueue(eager_entry(1, 7, 1, 100));
+  auto wm1 = strat->next(0, 0);
+  ASSERT_TRUE(wm1.has_value());
+  EXPECT_EQ(wm1->entries.size(), 1u);
+  auto wm2 = strat->next(0, 0);
+  ASSERT_TRUE(wm2.has_value());
+  EXPECT_EQ(wm2->entries.size(), 1u);
+  EXPECT_FALSE(strat->next(0, 0).has_value());
+  EXPECT_FALSE(strat->pending());
+}
+
+TEST(Strategy, AggregPacksSmallEntriesToSameDestination) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}});
+  StrategyOptions opts;
+  opts.max_aggregate = 4096;
+  auto strat = make_strategy(StrategyKind::Aggreg, s, opts);
+  for (std::uint32_t i = 0; i < 5; ++i) strat->enqueue(eager_entry(1, 7, i, 500));
+  auto wm = strat->next(0, 0);
+  ASSERT_TRUE(wm.has_value());
+  EXPECT_EQ(wm->entries.size(), 5u);  // 2500 bytes <= 4096 cap
+  // sequence order preserved inside the packet
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(wm->entries[i].seq, i);
+}
+
+TEST(Strategy, AggregRespectsByteCap) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}});
+  StrategyOptions opts;
+  opts.max_aggregate = 1000;
+  auto strat = make_strategy(StrategyKind::Aggreg, s, opts);
+  for (std::uint32_t i = 0; i < 4; ++i) strat->enqueue(eager_entry(1, 7, i, 400));
+  auto wm = strat->next(0, 0);
+  ASSERT_TRUE(wm.has_value());
+  EXPECT_EQ(wm->entries.size(), 2u);  // 800 <= 1000 < 1200
+}
+
+TEST(Strategy, AggregDoesNotMixDestinations) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}});
+  auto strat = make_strategy(StrategyKind::Aggreg, s, {});
+  strat->enqueue(eager_entry(1, 7, 0, 100));
+  strat->enqueue(eager_entry(2, 7, 0, 100));
+  auto wm1 = strat->next(0, 0);
+  ASSERT_TRUE(wm1.has_value());
+  EXPECT_EQ(wm1->entries.size(), 1u);
+  auto wm2 = strat->next(0, 0);
+  ASSERT_TRUE(wm2.has_value());
+  EXPECT_NE(wm1->dst_proc, wm2->dst_proc);  // round-robin across destinations
+}
+
+TEST(Strategy, RdvChunksTravelAlone) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}});
+  auto strat = make_strategy(StrategyKind::Aggreg, s, {});
+  strat->enqueue(eager_entry(1, 7, 0, 100));
+  Entry chunk;
+  chunk.kind = Entry::Kind::RdvChunk;
+  chunk.dst_proc = 1;
+  chunk.rail = 0;
+  chunk.bytes.resize(100000);
+  strat->enqueue(std::move(chunk));
+  auto wm1 = strat->next(0, 0);
+  ASSERT_TRUE(wm1.has_value());
+  EXPECT_EQ(wm1->entries.size(), 1u);
+  EXPECT_EQ(wm1->entries[0].kind, Entry::Kind::Eager);
+  auto wm2 = strat->next(0, 0);
+  ASSERT_TRUE(wm2.has_value());
+  EXPECT_EQ(wm2->entries.size(), 1u);
+  EXPECT_EQ(wm2->entries[0].kind, Entry::Kind::RdvChunk);
+}
+
+// ---------------------------------------------------------------------------
+// Core: two processes on two nodes exchanging through the fabric.
+// ---------------------------------------------------------------------------
+
+struct CoreFixture : ::testing::Test {
+  sim::Engine eng;
+  net::Topology topo = net::Topology::blocked(2, 2, {net::ib_profile(), net::mx_profile()});
+  net::Fabric fabric{eng, topo};
+  net::ProcRouter router0{fabric, 0};
+  net::ProcRouter router1{fabric, 1};
+  Core::ExtendedConfig cfg;
+
+  std::unique_ptr<Core> a;  // proc 0
+  std::unique_ptr<Core> b;  // proc 1
+
+  void make_cores(StrategyKind strat = StrategyKind::Aggreg, std::vector<int> rails = {0}) {
+    cfg.strategy = strat;
+    cfg.rails = std::move(rails);
+    a = std::make_unique<Core>(eng, fabric, router0, 0, cfg);
+    b = std::make_unique<Core>(eng, fabric, router1, 1, cfg);
+    // Always-in-progress processes (the MPI layer provides the bracketing).
+    a->enter_progress();
+    b->enter_progress();
+  }
+
+  std::vector<std::byte> pattern(std::size_t n, int seed) {
+    std::vector<std::byte> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::byte>((i * 7 + static_cast<std::size_t>(seed)) & 0xff);
+    }
+    return v;
+  }
+};
+
+TEST_F(CoreFixture, EagerSendRecvCarriesBytes) {
+  make_cores();
+  auto msg = pattern(1024, 1);
+  std::vector<std::byte> dst(1024);
+  Request* sr = a->isend(1, 42, msg.data(), msg.size());
+  Request* rr = b->irecv(0, 42, dst.data(), dst.size());
+  eng.run();
+  EXPECT_TRUE(sr->completed);
+  EXPECT_TRUE(rr->completed);
+  EXPECT_EQ(rr->received, msg.size());
+  EXPECT_EQ(dst, msg);
+  a->release(sr);
+  b->release(rr);
+  EXPECT_EQ(a->outstanding_requests(), 0u);
+}
+
+TEST_F(CoreFixture, UnexpectedEagerMatchesLaterIrecv) {
+  make_cores();
+  auto msg = pattern(100, 2);
+  a->isend(1, 5, msg.data(), msg.size());
+  eng.run();
+  EXPECT_EQ(b->unexpected_count(), 1u);
+  std::vector<std::byte> dst(100);
+  Request* rr = b->irecv(0, 5, dst.data(), dst.size());
+  EXPECT_TRUE(rr->completed);  // consumed synchronously from the buffers
+  EXPECT_EQ(dst, msg);
+  EXPECT_EQ(b->unexpected_count(), 0u);
+}
+
+TEST_F(CoreFixture, RendezvousTransfersLargeMessage) {
+  make_cores();
+  const std::size_t big = 1 << 20;
+  auto msg = pattern(big, 3);
+  std::vector<std::byte> dst(big);
+  Request* rr = b->irecv(0, 9, dst.data(), dst.size());
+  Request* sr = a->isend(1, 9, msg.data(), msg.size());
+  eng.run();
+  EXPECT_TRUE(sr->completed);
+  EXPECT_TRUE(rr->completed);
+  EXPECT_EQ(a->rdv_started(), 1u);
+  EXPECT_EQ(dst, msg);
+}
+
+TEST_F(CoreFixture, MultirailSplitsRendezvousAcrossBothRails) {
+  make_cores(StrategyKind::SplitBalance, {0, 1});
+  const std::size_t big = 8 << 20;
+  auto msg = pattern(big, 4);
+  std::vector<std::byte> dst(big);
+  b->irecv(0, 9, dst.data(), dst.size());
+  a->isend(1, 9, msg.data(), msg.size());
+  const std::size_t before = fabric.packets_sent();
+  eng.run();
+  EXPECT_EQ(dst, msg);
+  // RTS + CTS + two data chunks (one per rail) = 4 packets.
+  EXPECT_EQ(fabric.packets_sent() - before, 4u);
+}
+
+TEST_F(CoreFixture, PerTagFifoMatchingOrder) {
+  make_cores();
+  auto m1 = pattern(64, 5);
+  auto m2 = pattern(64, 6);
+  std::vector<std::byte> d1(64), d2(64);
+  Request* r1 = b->irecv(0, 3, d1.data(), 64);
+  Request* r2 = b->irecv(0, 3, d2.data(), 64);
+  a->isend(1, 3, m1.data(), 64);
+  a->isend(1, 3, m2.data(), 64);
+  eng.run();
+  EXPECT_TRUE(r1->completed && r2->completed);
+  EXPECT_EQ(d1, m1);  // first posted gets first sent
+  EXPECT_EQ(d2, m2);
+}
+
+TEST_F(CoreFixture, DifferentTagsMatchIndependently) {
+  make_cores();
+  auto m1 = pattern(64, 7);
+  auto m2 = pattern(64, 8);
+  std::vector<std::byte> d1(64), d2(64);
+  Request* r2 = b->irecv(0, 20, d2.data(), 64);
+  Request* r1 = b->irecv(0, 10, d1.data(), 64);
+  a->isend(1, 10, m1.data(), 64);
+  a->isend(1, 20, m2.data(), 64);
+  eng.run();
+  EXPECT_TRUE(r1->completed && r2->completed);
+  EXPECT_EQ(d1, m1);
+  EXPECT_EQ(d2, m2);
+}
+
+TEST_F(CoreFixture, ProbeSeesOldestUnexpected) {
+  make_cores();
+  auto m = pattern(256, 9);
+  a->isend(1, 77, m.data(), m.size());
+  eng.run();
+  auto p = b->probe(std::nullopt, TagSelector::any());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->src, 0);
+  EXPECT_EQ(p->tag, 77u);
+  EXPECT_EQ(p->len, 256u);
+  // Probe is non-destructive.
+  EXPECT_TRUE(b->probe(std::nullopt, TagSelector::exact(77)).has_value());
+  EXPECT_FALSE(b->probe(std::nullopt, TagSelector::exact(78)).has_value());
+  EXPECT_FALSE(b->probe(5, TagSelector::any()).has_value());
+}
+
+TEST_F(CoreFixture, OnUnexpectedHookFires) {
+  make_cores();
+  int hooks = 0;
+  ProbeInfo seen;
+  b->set_on_unexpected([&](const ProbeInfo& info) {
+    ++hooks;
+    seen = info;
+  });
+  auto m = pattern(64, 10);
+  a->isend(1, 55, m.data(), m.size());
+  eng.run();
+  EXPECT_EQ(hooks, 1);
+  EXPECT_EQ(seen.src, 0);
+  EXPECT_EQ(seen.tag, 55u);
+}
+
+TEST_F(CoreFixture, GatedInjectionWaitsForProgress) {
+  make_cores();
+  a->leave_progress();  // sender's application is "computing"
+  auto m = pattern(64, 11);
+  std::vector<std::byte> d(64);
+  Request* rr = b->irecv(0, 1, d.data(), 64);
+  Request* sr = a->isend(1, 1, m.data(), 64);
+  eng.run();  // nothing can move: injection is gated
+  EXPECT_FALSE(sr->completed);
+  EXPECT_FALSE(rr->completed);
+  EXPECT_TRUE(a->has_gated_work());
+  a->enter_progress();  // "the application entered an MPI call"
+  eng.run();
+  EXPECT_TRUE(sr->completed);
+  EXPECT_TRUE(rr->completed);
+  EXPECT_EQ(d, m);
+}
+
+TEST_F(CoreFixture, AsyncNotifierFiresWhenGatedWorkAppears) {
+  make_cores();
+  a->leave_progress();
+  int notified = 0;
+  a->set_async_notifier([&] { ++notified; });
+  auto m = pattern(64, 12);
+  a->isend(1, 1, m.data(), 64);
+  EXPECT_GT(notified, 0);
+}
+
+TEST_F(CoreFixture, AggregationReducesWirePackets) {
+  make_cores(StrategyKind::Aggreg);
+  // Queue several small sends while the sender is gated, then open the gate:
+  // the strategy packs them into one wire packet.
+  a->leave_progress();
+  std::vector<std::vector<std::byte>> msgs;
+  std::vector<std::vector<std::byte>> dsts;
+  msgs.reserve(6);
+  dsts.reserve(6);  // pointers handed to irecv must stay stable
+  for (int i = 0; i < 6; ++i) {
+    msgs.push_back(pattern(200, i));
+    dsts.emplace_back(200);
+    b->irecv(0, static_cast<Tag>(i), dsts.back().data(), 200);
+  }
+  for (int i = 0; i < 6; ++i) a->isend(1, static_cast<Tag>(i), msgs[static_cast<std::size_t>(i)].data(), 200);
+  const std::size_t before = fabric.packets_sent();
+  a->enter_progress();
+  eng.run();
+  EXPECT_EQ(fabric.packets_sent() - before, 1u);  // 6 sends, one packet
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(dsts[static_cast<std::size_t>(i)], msgs[static_cast<std::size_t>(i)]);
+}
+
+TEST_F(CoreFixture, ZeroByteMessageCompletes) {
+  make_cores();
+  Request* rr = b->irecv(0, 2, nullptr, 0);
+  Request* sr = a->isend(1, 2, nullptr, 0);
+  eng.run();
+  EXPECT_TRUE(sr->completed && rr->completed);
+  EXPECT_EQ(rr->received, 0u);
+}
+
+}  // namespace
+}  // namespace nmx::nmad

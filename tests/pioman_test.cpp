@@ -1,0 +1,109 @@
+// PIOMan tests: ltask lifecycle, reaction scheduling, notification
+// coalescing, and work-driven rescheduling.
+#include <gtest/gtest.h>
+
+#include "pioman/pioman.hpp"
+
+namespace nmx::pioman {
+namespace {
+
+TEST(Ltask, BodyRunsAndStaysPersistent) {
+  int runs = 0;
+  Ltask t("poll", [&] {
+    ++runs;
+    return false;
+  });
+  EXPECT_EQ(t.state(), LtaskState::Created);
+  EXPECT_FALSE(t.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(t.state(), LtaskState::Scheduled);  // persistent, not Done
+  EXPECT_FALSE(t.step());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Ltask, CompleteRetiresTask) {
+  Ltask t("once", [] { return false; });
+  t.complete();
+  EXPECT_EQ(t.state(), LtaskState::Done);
+}
+
+TEST(Manager, NotifySchedulesServiceAfterReactionPeriod) {
+  sim::Engine eng;
+  Manager m(eng, ManagerConfig{1e-6});
+  Time serviced_at = -1;
+  m.submit("probe", [&] {
+    serviced_at = eng.now();
+    return false;
+  });
+  eng.schedule(5e-6, [&] { m.notify(); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(serviced_at, 6e-6);
+  EXPECT_EQ(m.service_passes(), 1u);
+}
+
+TEST(Manager, NotifiesCoalesceWhilePending) {
+  sim::Engine eng;
+  Manager m(eng, ManagerConfig{10e-6});
+  int runs = 0;
+  m.submit("probe", [&] {
+    ++runs;
+    return false;
+  });
+  eng.schedule(0.0, [&] {
+    m.notify();
+    m.notify();
+    m.notify();
+  });
+  eng.schedule(1e-6, [&] { m.notify(); });  // still inside the pending window
+  eng.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Manager, ReschedulesWhileTaskReportsWork) {
+  sim::Engine eng;
+  Manager m(eng, ManagerConfig{1e-6});
+  int remaining = 3;
+  m.submit("drain", [&] { return --remaining > 0; });
+  eng.schedule(0.0, [&] { m.notify(); });
+  eng.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(m.service_passes(), 3u);
+}
+
+TEST(Manager, RetiredTasksAreSkipped) {
+  sim::Engine eng;
+  Manager m(eng);
+  int a_runs = 0, b_runs = 0;
+  Ltask& a = m.submit("a", [&] {
+    ++a_runs;
+    return false;
+  });
+  m.submit("b", [&] {
+    ++b_runs;
+    return false;
+  });
+  a.complete();
+  eng.schedule(0.0, [&] { m.notify(); });
+  eng.run();
+  EXPECT_EQ(a_runs, 0);
+  EXPECT_EQ(b_runs, 1);
+}
+
+TEST(Manager, NewNotifyAfterServiceRearms) {
+  sim::Engine eng;
+  Manager m(eng, ManagerConfig{1e-6});
+  std::vector<Time> at;
+  m.submit("probe", [&] {
+    at.push_back(eng.now());
+    return false;
+  });
+  eng.schedule(0.0, [&] { m.notify(); });
+  eng.schedule(10e-6, [&] { m.notify(); });
+  eng.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 1e-6);
+  EXPECT_DOUBLE_EQ(at[1], 11e-6);
+}
+
+}  // namespace
+}  // namespace nmx::pioman

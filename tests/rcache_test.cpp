@@ -1,0 +1,104 @@
+// Registration-cache unit tests: hit/miss accounting, interval merging,
+// partial coverage, LRU eviction.
+#include <gtest/gtest.h>
+
+#include "net/calibration.hpp"
+#include "rcache/rcache.hpp"
+
+namespace nmx::rcache {
+namespace {
+
+Time unit_cost(std::size_t bytes) { return static_cast<double>(bytes); }
+
+TEST(Rcache, FirstAcquireIsAMiss) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 4096), 4096.0);
+  EXPECT_EQ(rc.misses(), 1u);
+  EXPECT_EQ(rc.hits(), 0u);
+  EXPECT_EQ(rc.pinned_bytes(), 4096u);
+}
+
+TEST(Rcache, RepeatAcquireIsAFreeHit) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 4096);
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 4096), 0.0);
+  EXPECT_EQ(rc.hits(), 1u);
+}
+
+TEST(Rcache, SubrangeOfCachedRegionIsAHit) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 8192);
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1800, 1024), 0.0);
+  EXPECT_EQ(rc.hits(), 1u);
+}
+
+TEST(Rcache, PartialOverlapChargesOnlyUncoveredBytes) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 4096);  // [0x1000, 0x2000)
+  // [0x1800, 0x2800): 0x800 covered, 0x800 new.
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1800, 4096), 2048.0);
+  EXPECT_EQ(rc.pinned_bytes(), 0x1800u);  // merged [0x1000, 0x2800)
+}
+
+TEST(Rcache, AdjacentRegionsMerge) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 4096);
+  rc.acquire(0x2000, 4096);  // touches the first region
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 8192), 0.0);  // fully covered by the merge
+}
+
+TEST(Rcache, BridgingAcquireMergesThreeRegions) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 0x1000);
+  rc.acquire(0x3000, 0x1000);
+  // Bridge the hole [0x2000, 0x3000).
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 0x3000), 4096.0);
+  EXPECT_EQ(rc.pinned_bytes(), 0x3000u);
+}
+
+TEST(Rcache, LruEvictionRespectsCapacity) {
+  RegistrationCache rc(8192, unit_cost);
+  rc.acquire(0x10000, 4096);
+  rc.acquire(0x20000, 4096);
+  rc.acquire(0x30000, 4096);  // evicts 0x10000 (least recently used)
+  EXPECT_EQ(rc.evictions(), 1u);
+  EXPECT_LE(rc.pinned_bytes(), 8192u);
+  EXPECT_GT(rc.acquire(0x10000, 4096), 0.0);  // miss again
+  EXPECT_DOUBLE_EQ(rc.acquire(0x30000, 4096), 0.0);  // still cached
+}
+
+TEST(Rcache, TouchRefreshesLruOrder) {
+  RegistrationCache rc(8192, unit_cost);
+  rc.acquire(0x10000, 4096);
+  rc.acquire(0x20000, 4096);
+  rc.acquire(0x10000, 4096);  // refresh
+  rc.acquire(0x30000, 4096);  // should evict 0x20000
+  EXPECT_DOUBLE_EQ(rc.acquire(0x10000, 4096), 0.0);
+  EXPECT_GT(rc.acquire(0x20000, 4096), 0.0);
+}
+
+TEST(Rcache, ClearDropsEverything) {
+  RegistrationCache rc(1 << 20, unit_cost);
+  rc.acquire(0x1000, 4096);
+  rc.clear();
+  EXPECT_EQ(rc.pinned_bytes(), 0u);
+  EXPECT_GT(rc.acquire(0x1000, 4096), 0.0);
+}
+
+TEST(Rcache, OversizedRegionStaysPinnedWhileInUse) {
+  RegistrationCache rc(4096, unit_cost);
+  // A single region larger than capacity must not be evicted mid-acquire.
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 16384), 16384.0);
+  EXPECT_EQ(rc.pinned_bytes(), 16384u);
+  EXPECT_DOUBLE_EQ(rc.acquire(0x1000, 16384), 0.0);
+}
+
+TEST(Rcache, IbCostModelScalesWithPages) {
+  const Time one = calib::ib_reg_cost(4096);
+  const Time ten = calib::ib_reg_cost(10 * 4096);
+  EXPECT_GT(ten, one);
+  EXPECT_NEAR(ten - one, 9 * calib::kIbRegPerPage, 1e-12);
+}
+
+}  // namespace
+}  // namespace nmx::rcache

@@ -1,0 +1,159 @@
+// Integration tests asserting the *shapes* of the paper's figures — the
+// claims EXPERIMENTS.md makes are enforced here so a regression in any layer
+// shows up as a test failure, not as a silently wrong bench table.
+#include <gtest/gtest.h>
+
+#include "harness/netpipe.hpp"
+#include "harness/overlap.hpp"
+#include "mpi/cluster.hpp"
+
+namespace nmx {
+namespace {
+
+mpi::ClusterConfig two_nodes(mpi::StackKind stack, std::vector<net::NicProfile> rails,
+                             bool pioman = false) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = std::move(rails);
+  cfg.stack = stack;
+  cfg.pioman = pioman;
+  if (cfg.rails.size() > 1) cfg.strategy = nmad::StrategyKind::SplitBalance;
+  return cfg;
+}
+
+double lat4(mpi::ClusterConfig cfg, bool as = false) {
+  return harness::netpipe(std::move(cfg), {4}, 3, as)[0].latency_us;
+}
+double bw(mpi::ClusterConfig cfg, std::size_t size) {
+  return harness::netpipe(std::move(cfg), {size})[0].bandwidth_MBps;
+}
+
+// --- Figure 4 ---------------------------------------------------------------
+
+TEST(Fig4Shape, LatencyOrderingAndValues) {
+  const double mvapich = lat4(two_nodes(mpi::StackKind::Mvapich2, {net::ib_profile()}));
+  const double ompi = lat4(two_nodes(mpi::StackKind::OpenMpiBtlIb, {net::ib_profile()}));
+  const double nmad = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile()}));
+  const double nmad_as = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile()}), true);
+  EXPECT_NEAR(mvapich, 1.5, 0.2);
+  EXPECT_NEAR(ompi, 1.6, 0.2);
+  EXPECT_NEAR(nmad, 2.1, 0.2);
+  EXPECT_NEAR(nmad_as - nmad, 0.3, 0.05);  // constant any-source gap
+  EXPECT_LT(mvapich, ompi);
+  EXPECT_LT(ompi, nmad);
+}
+
+TEST(Fig4Shape, BandwidthOrdering) {
+  const auto ib = net::ib_profile();
+  // MVAPICH2 outperforms everyone at large sizes (registration cache).
+  for (std::size_t size : {1u << 20, 16u << 20}) {
+    const double m = bw(two_nodes(mpi::StackKind::Mvapich2, {ib}), size);
+    const double n = bw(two_nodes(mpi::StackKind::Mpich2Nmad, {ib}), size);
+    const double o = bw(two_nodes(mpi::StackKind::OpenMpiBtlIb, {ib}), size);
+    EXPECT_GT(m, n) << size;
+    EXPECT_GT(n, o) << size;  // and Nmad stays above Open MPI
+  }
+  // "higher bandwidth than Open MPI for medium-sized messages" (§4.1.1).
+  for (std::size_t size : {16384u, 65536u, 262144u}) {
+    const double n = bw(two_nodes(mpi::StackKind::Mpich2Nmad, {ib}), size);
+    const double o = bw(two_nodes(mpi::StackKind::OpenMpiBtlIb, {ib}), size);
+    EXPECT_GT(n, o) << size;
+  }
+}
+
+// --- Figure 5 ---------------------------------------------------------------
+
+TEST(Fig5Shape, MultirailPicksFastestRailForSmallMessages) {
+  const double ib = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile()}));
+  mpi::ClusterConfig multi = two_nodes(mpi::StackKind::Mpich2Nmad,
+                                       {net::ib_profile(), net::mx_profile()});
+  multi.strategy = nmad::StrategyKind::SplitBalance;
+  const double m = lat4(multi);
+  EXPECT_NEAR(m, ib, 0.02);  // small messages ride the IB rail only
+}
+
+TEST(Fig5Shape, MultirailBandwidthApproachesSumOfRails) {
+  const std::size_t size = 16u << 20;
+  const double ib = bw(two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile()}), size);
+  const double mx = bw(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}), size);
+  mpi::ClusterConfig multi = two_nodes(mpi::StackKind::Mpich2Nmad,
+                                       {net::ib_profile(), net::mx_profile()});
+  multi.strategy = nmad::StrategyKind::SplitBalance;
+  const double both = bw(multi, size);
+  EXPECT_GT(both, ib * 1.5);          // clearly aggregated
+  EXPECT_GT(both, 0.85 * (ib + mx));  // "almost ... the sum" (§4.1.1)
+  EXPECT_LT(both, ib + mx);           // but not more than the sum
+}
+
+// --- Figure 6 ---------------------------------------------------------------
+
+TEST(Fig6Shape, PiomanShmOverheadIsConstant450ns) {
+  auto shm_cfg = [](bool pioman) {
+    mpi::ClusterConfig cfg;
+    cfg.nodes = 1;
+    cfg.procs = 2;
+    cfg.stack = mpi::StackKind::Mpich2Nmad;
+    cfg.pioman = pioman;
+    return cfg;
+  };
+  const auto base = harness::netpipe(shm_cfg(false), {4, 512});
+  const auto piom = harness::netpipe(shm_cfg(true), {4, 512});
+  EXPECT_NEAR(piom[0].latency_us - base[0].latency_us, 0.45, 0.05);
+  EXPECT_NEAR(piom[1].latency_us - base[1].latency_us, 0.45, 0.05);  // constant in size
+}
+
+TEST(Fig6Shape, PiomanNetworkOverheadIsRoughly2us) {
+  const double base = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}));
+  const double piom = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}, true));
+  EXPECT_NEAR(piom - base, 2.0, 0.2);
+}
+
+TEST(Fig6Shape, CmPmlBeatsBtlOverMx) {
+  const double cm = lat4(two_nodes(mpi::StackKind::OpenMpiCmMx, {net::mx_profile()}));
+  const double btl = lat4(two_nodes(mpi::StackKind::OpenMpiBtlMx, {net::mx_profile()}));
+  const double nmad = lat4(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}));
+  EXPECT_LT(cm, nmad);
+  EXPECT_LT(nmad, btl);
+}
+
+// --- Figure 7 ---------------------------------------------------------------
+
+TEST(Fig7Shape, OnlyPiomanOverlapsEagerSends) {
+  const std::vector<std::size_t> sizes{16384};
+  const double compute = 20e-6;
+  auto ref = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}), sizes,
+                              0.0)[0].send_time_us;
+  auto plain = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}), sizes,
+                                compute)[0].send_time_us;
+  auto piom = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}, true),
+                               sizes, compute)[0].send_time_us;
+  auto ompi = harness::overlap(two_nodes(mpi::StackKind::OpenMpiCmMx, {net::mx_profile()}), sizes,
+                               compute)[0].send_time_us;
+  // No background progression: sum(comm, compute).
+  EXPECT_NEAR(plain, ref + 20.0, 2.0);
+  EXPECT_NEAR(ompi, ref + 20.0, 4.0);
+  // PIOMan: max(comm, compute).
+  EXPECT_NEAR(piom, std::max(ref, 20.0), 2.5);
+}
+
+TEST(Fig7Shape, OnlyPiomanProgressesRendezvousDuringCompute) {
+  const std::vector<std::size_t> sizes{1 << 20};
+  const double compute = 400e-6;
+  const auto ib = net::ib_profile();
+  auto ref = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {ib}), sizes, 0.0)[0]
+                  .send_time_us;
+  auto plain = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {ib}), sizes, compute)[0]
+                   .send_time_us;
+  auto piom = harness::overlap(two_nodes(mpi::StackKind::Mpich2Nmad, {ib}, true), sizes,
+                               compute)[0].send_time_us;
+  auto mvapich = harness::overlap(two_nodes(mpi::StackKind::Mvapich2, {ib}), sizes, compute)[0]
+                     .send_time_us;
+  EXPECT_NEAR(plain, ref + 400.0, 10.0);
+  EXPECT_GT(mvapich, 1000.0);  // no handshake detection during compute
+  EXPECT_LT(piom, plain - 300.0);  // most of the compute is hidden
+  EXPECT_NEAR(piom, std::max(ref, 400.0), 0.15 * std::max(ref, 400.0));
+}
+
+}  // namespace
+}  // namespace nmx

@@ -1,0 +1,270 @@
+// Unit tests for the discrete-event core: event ordering, actor lifecycle,
+// virtual time, conditions, deadlock detection and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace nmx::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(3e-6, [&] { order.push_back(3); });
+  eng.schedule(1e-6, [&] { order.push_back(1); });
+  eng.schedule(2e-6, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3e-6);
+  EXPECT_EQ(eng.events_processed(), 3u);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule(1e-6, [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CancelledEventsDoNotRun) {
+  Engine eng;
+  int ran = 0;
+  const EventId id = eng.schedule(1e-6, [&] { ran = 1; });
+  eng.schedule(2e-6, [&] { ran += 10; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine eng;
+  Time seen = -1;
+  eng.schedule(5e-6, [&] {
+    eng.schedule(1e-6, [&] { seen = eng.now(); });  // "in the past"
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(seen, 5e-6);
+}
+
+TEST(Engine, EventsScheduledInsideEventsRun) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) eng.schedule_in(1e-6, recurse);
+  };
+  eng.schedule(0, recurse);
+  eng.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Actor, SleepAdvancesVirtualTime) {
+  Engine eng;
+  Time t1 = -1, t2 = -1;
+  eng.spawn("a", [&](Actor& self) {
+    t1 = eng.now();
+    self.sleep_for(10e-6);
+    t2 = eng.now();
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(t1, 0.0);
+  EXPECT_DOUBLE_EQ(t2, 10e-6);
+}
+
+TEST(Actor, SleepIsNotInterruptibleByWake) {
+  Engine eng;
+  Time woke_at = -1;
+  Actor& a = eng.spawn("sleeper", [&](Actor& self) {
+    self.sleep_for(10e-6);
+    woke_at = eng.now();
+  });
+  eng.schedule(1e-6, [&] { a.wake(); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(woke_at, 10e-6);
+}
+
+TEST(Actor, BlockAndWake) {
+  Engine eng;
+  Time woke_at = -1;
+  Actor& a = eng.spawn("blocker", [&](Actor& self) {
+    self.block();
+    woke_at = eng.now();
+  });
+  eng.schedule(4e-6, [&] { a.wake(); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(woke_at, 4e-6);
+}
+
+TEST(Actor, DoubleWakeIsHarmless) {
+  Engine eng;
+  int resumes = 0;
+  Actor& a = eng.spawn("b", [&](Actor& self) {
+    self.block();
+    ++resumes;
+    self.sleep_for(1e-6);  // a stale second resume must not interrupt this
+    ++resumes;
+  });
+  eng.schedule(1e-6, [&] {
+    a.wake();
+    a.wake();
+  });
+  eng.run();
+  EXPECT_EQ(resumes, 2);
+}
+
+TEST(Actor, BlockUntilTimesOut) {
+  Engine eng;
+  bool woken = true;
+  Time at = -1;
+  eng.spawn("t", [&](Actor& self) {
+    woken = self.block_until(5e-6);
+    at = eng.now();
+  });
+  eng.run();
+  EXPECT_FALSE(woken);
+  EXPECT_DOUBLE_EQ(at, 5e-6);
+}
+
+TEST(Actor, BlockUntilWokenBeforeDeadline) {
+  Engine eng;
+  bool woken = false;
+  Time at = -1;
+  Actor& a = eng.spawn("t", [&](Actor& self) {
+    woken = self.block_until(5e-6);
+    at = eng.now();
+  });
+  eng.schedule(2e-6, [&] { a.wake(); });
+  eng.run();
+  EXPECT_TRUE(woken);
+  EXPECT_DOUBLE_EQ(at, 2e-6);
+  eng.run();  // the stale timeout event at 5us must be ignored
+}
+
+TEST(Actor, TwoActorsHandshake) {
+  Engine eng;
+  int state = 0;
+  Actor* b_ptr = nullptr;
+  Actor& a = eng.spawn("a", [&](Actor& self) {
+    state = 1;
+    self.block();
+    EXPECT_EQ(state, 2);
+    state = 3;
+    b_ptr->wake();
+  });
+  Actor& b = eng.spawn("b", [&](Actor& self) {
+    EXPECT_EQ(state, 1);  // spawn order = run order at equal time
+    state = 2;
+    a.wake();
+    self.block();
+    EXPECT_EQ(state, 3);
+    state = 4;
+  });
+  b_ptr = &b;
+  eng.run();
+  EXPECT_EQ(state, 4);
+}
+
+TEST(Engine, DeadlockIsDetectedAndNamed) {
+  Engine eng;
+  eng.spawn("stuck-actor", [&](Actor& self) { self.block(); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-actor"), std::string::npos);
+  }
+}
+
+TEST(Engine, ActorExceptionsPropagate) {
+  Engine eng;
+  eng.spawn("thrower", [&](Actor&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, SpawnDuringRun) {
+  Engine eng;
+  Time spawned_ran_at = -1;
+  eng.spawn("parent", [&](Actor& self) {
+    self.sleep_for(2e-6);
+    eng.spawn("child", [&](Actor& child) {
+      child.sleep_for(1e-6);
+      spawned_ran_at = eng.now();
+    });
+    self.sleep_for(5e-6);
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(spawned_ran_at, 3e-6);
+}
+
+TEST(Condition, NotifyOneWakesFifo) {
+  Engine eng;
+  Condition cv;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("w" + std::to_string(i), [&, i](Actor& self) {
+      cv.wait(self);
+      order.push_back(i);
+    });
+  }
+  eng.schedule(1e-6, [&] { cv.notify_one(); });
+  eng.schedule(2e-6, [&] { cv.notify_one(); });
+  eng.schedule(3e-6, [&] { cv.notify_one(); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Condition, NotifyAllWakesEveryone) {
+  Engine eng;
+  Condition cv;
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn("w" + std::to_string(i), [&](Actor& self) {
+      cv.wait(self);
+      ++woke;
+    });
+  }
+  eng.schedule(1e-6, [&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Condition, WaitUntilTimeoutLeavesQueueClean) {
+  Engine eng;
+  Condition cv;
+  bool woken = true;
+  eng.spawn("w", [&](Actor& self) { woken = cv.wait_until(self, 2e-6); });
+  eng.run();
+  EXPECT_FALSE(woken);
+  EXPECT_EQ(cv.waiter_count(), 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Units, LiteralsCompose) {
+  EXPECT_DOUBLE_EQ(1.5_us, 1.5e-6);
+  EXPECT_DOUBLE_EQ(2_ns, 2e-9);
+  EXPECT_EQ(64_KiB, 65536u);
+  EXPECT_DOUBLE_EQ(to_MBps(1048576.0), 1.0);
+}
+
+}  // namespace
+}  // namespace nmx::sim

@@ -1,0 +1,180 @@
+// End-to-end smoke tests: every stack moves bytes correctly and the headline
+// latency calibration (§4.1.1) holds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace nmx {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 31 + static_cast<std::size_t>(seed)) & 0xff);
+  }
+  return v;
+}
+
+class PingPong : public ::testing::TestWithParam<mpi::StackKind> {};
+
+TEST_P(PingPong, InterNodeRoundtripCarriesBytes) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = GetParam();
+  mpi::Cluster cluster(cfg);
+
+  const auto msg = pattern(1024, 7);
+  cluster.run([&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(msg.data(), msg.size(), 1, 42);
+      std::vector<std::byte> back(msg.size());
+      auto st = c.recv(back.data(), back.size(), 1, 43);
+      EXPECT_EQ(st.count, msg.size());
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(back, msg);
+    } else {
+      std::vector<std::byte> in(msg.size());
+      auto st = c.recv(in.data(), in.size(), 0, 42);
+      EXPECT_EQ(st.count, msg.size());
+      EXPECT_EQ(in, msg);
+      c.send(in.data(), in.size(), 0, 43);
+    }
+  });
+}
+
+TEST_P(PingPong, LargeRendezvousMessage) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.stack = GetParam();
+  mpi::Cluster cluster(cfg);
+
+  const auto msg = pattern(3 * 1024 * 1024 + 17, 3);
+  cluster.run([&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(msg.data(), msg.size(), 1, 1);
+    } else {
+      std::vector<std::byte> in(msg.size());
+      auto st = c.recv(in.data(), in.size(), 0, 1);
+      EXPECT_EQ(st.count, msg.size());
+      EXPECT_EQ(in, msg);
+    }
+  });
+}
+
+TEST_P(PingPong, IntraNodeSharedMemory) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.procs = 2;
+  cfg.stack = GetParam();
+  mpi::Cluster cluster(cfg);
+
+  const auto small = pattern(512, 1);
+  const auto big = pattern(300 * 1024, 2);  // well past cell and LMT sizes
+  cluster.run([&](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(small.data(), small.size(), 1, 5);
+      c.send(big.data(), big.size(), 1, 6);
+    } else {
+      std::vector<std::byte> a(small.size()), b(big.size());
+      c.recv(a.data(), a.size(), 0, 5);
+      auto st = c.recv(b.data(), b.size(), 0, 6);
+      EXPECT_EQ(a, small);
+      EXPECT_EQ(b, big);
+      EXPECT_EQ(st.count, big.size());
+    }
+  });
+}
+
+TEST_P(PingPong, CollectivesAgree) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.procs = 6;
+  cfg.stack = GetParam();
+  mpi::Cluster cluster(cfg);
+
+  cluster.run([&](mpi::Comm& c) {
+    c.barrier();
+    double v = c.rank() + 1.0;
+    double sum = c.allreduce_one(v, mpi::ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(sum, 21.0);  // 1+2+...+6
+
+    int root_val = c.rank() == 2 ? 1234 : 0;
+    c.bcast(&root_val, sizeof(root_val), 2);
+    EXPECT_EQ(root_val, 1234);
+
+    std::vector<int> mine(3, c.rank());
+    std::vector<int> all(3 * 6, -1);
+    c.allgather(mine.data(), mine.size() * sizeof(int), all.data());
+    for (int p = 0; p < 6; ++p) {
+      for (int i = 0; i < 3; ++i) EXPECT_EQ(all[static_cast<std::size_t>(p * 3 + i)], p);
+    }
+
+    std::vector<int> tosend(6), got(6, -1);
+    for (int p = 0; p < 6; ++p) tosend[static_cast<std::size_t>(p)] = c.rank() * 100 + p;
+    c.alltoall(tosend.data(), sizeof(int), got.data());
+    for (int p = 0; p < 6; ++p) EXPECT_EQ(got[static_cast<std::size_t>(p)], p * 100 + c.rank());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, PingPong,
+                         ::testing::Values(mpi::StackKind::Mpich2Nmad, mpi::StackKind::Mvapich2,
+                                           mpi::StackKind::OpenMpiBtlIb,
+                                           mpi::StackKind::OpenMpiCmMx),
+                         [](const auto& info) {
+                           std::string s = mpi::to_string(info.param);
+                           std::erase(s, '-');
+                           return s;
+                         });
+
+TEST(Calibration, SmallMessageLatenciesMatchPaper) {
+  // §4.1.1: MVAPICH2 1.5µs, Open MPI 1.6µs, MPICH2-NewMadeleine 2.1µs.
+  auto one_way = [](mpi::StackKind stack) {
+    mpi::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.procs = 2;
+    cfg.stack = stack;
+    mpi::Cluster cluster(cfg);
+    double t = 0;
+    cluster.run([&](mpi::Comm& c) {
+      char b = 'x';
+      const int iters = 10;
+      // warmup
+      if (c.rank() == 0) {
+        c.send(&b, 1, 1, 0);
+        c.recv(&b, 1, 1, 0);
+      } else {
+        c.recv(&b, 1, 0, 0);
+        c.send(&b, 1, 0, 0);
+      }
+      const double t0 = c.wtime();
+      for (int i = 0; i < iters; ++i) {
+        if (c.rank() == 0) {
+          c.send(&b, 1, 1, 0);
+          c.recv(&b, 1, 1, 0);
+        } else {
+          c.recv(&b, 1, 0, 0);
+          c.send(&b, 1, 0, 0);
+        }
+      }
+      if (c.rank() == 0) t = (c.wtime() - t0) / (2.0 * iters);
+    });
+    return t * 1e6;  // µs
+  };
+
+  const double nmad = one_way(mpi::StackKind::Mpich2Nmad);
+  const double mvapich = one_way(mpi::StackKind::Mvapich2);
+  const double ompi = one_way(mpi::StackKind::OpenMpiBtlIb);
+  EXPECT_NEAR(nmad, 2.1, 0.25);
+  EXPECT_NEAR(mvapich, 1.5, 0.2);
+  EXPECT_NEAR(ompi, 1.6, 0.2);
+  EXPECT_LT(mvapich, ompi);
+  EXPECT_LT(ompi, nmad);
+}
+
+}  // namespace
+}  // namespace nmx
