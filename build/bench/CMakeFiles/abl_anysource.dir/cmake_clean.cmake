@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_anysource.dir/abl_anysource.cc.o"
+  "CMakeFiles/abl_anysource.dir/abl_anysource.cc.o.d"
+  "abl_anysource"
+  "abl_anysource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_anysource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bypass.dir/abl_bypass.cc.o"
+  "CMakeFiles/abl_bypass.dir/abl_bypass.cc.o.d"
+  "abl_bypass"
+  "abl_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

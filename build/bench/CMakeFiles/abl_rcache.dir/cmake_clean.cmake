@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rcache.dir/abl_rcache.cc.o"
+  "CMakeFiles/abl_rcache.dir/abl_rcache.cc.o.d"
+  "abl_rcache"
+  "abl_rcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_splitratio.dir/abl_splitratio.cc.o"
+  "CMakeFiles/abl_splitratio.dir/abl_splitratio.cc.o.d"
+  "abl_splitratio"
+  "abl_splitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_splitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_strategy.dir/abl_strategy.cc.o"
+  "CMakeFiles/abl_strategy.dir/abl_strategy.cc.o.d"
+  "abl_strategy"
+  "abl_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

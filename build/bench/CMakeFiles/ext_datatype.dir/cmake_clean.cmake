@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_datatype.dir/ext_datatype.cc.o"
+  "CMakeFiles/ext_datatype.dir/ext_datatype.cc.o.d"
+  "ext_datatype"
+  "ext_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_is.dir/ext_is.cc.o"
+  "CMakeFiles/ext_is.dir/ext_is.cc.o.d"
+  "ext_is"
+  "ext_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

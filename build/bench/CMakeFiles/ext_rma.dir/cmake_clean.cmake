@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rma.dir/ext_rma.cc.o"
+  "CMakeFiles/ext_rma.dir/ext_rma.cc.o.d"
+  "ext_rma"
+  "ext_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

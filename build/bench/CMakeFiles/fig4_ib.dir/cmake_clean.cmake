@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ib.dir/fig4_ib.cc.o"
+  "CMakeFiles/fig4_ib.dir/fig4_ib.cc.o.d"
+  "fig4_ib"
+  "fig4_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multirail.dir/fig5_multirail.cc.o"
+  "CMakeFiles/fig5_multirail.dir/fig5_multirail.cc.o.d"
+  "fig5_multirail"
+  "fig5_multirail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multirail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pioman.dir/fig6_pioman.cc.o"
+  "CMakeFiles/fig6_pioman.dir/fig6_pioman.cc.o.d"
+  "fig6_pioman"
+  "fig6_pioman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pioman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overlap.dir/fig7_overlap.cc.o"
+  "CMakeFiles/fig7_overlap.dir/fig7_overlap.cc.o.d"
+  "fig7_overlap"
+  "fig7_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nas.dir/fig8_nas.cc.o"
+  "CMakeFiles/fig8_nas.dir/fig8_nas.cc.o.d"
+  "fig8_nas"
+  "fig8_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anysource_server.dir/anysource_server.cpp.o"
+  "CMakeFiles/anysource_server.dir/anysource_server.cpp.o.d"
+  "anysource_server"
+  "anysource_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anysource_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

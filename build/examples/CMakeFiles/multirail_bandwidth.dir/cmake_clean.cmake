@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail_bandwidth.dir/multirail_bandwidth.cpp.o"
+  "CMakeFiles/multirail_bandwidth.dir/multirail_bandwidth.cpp.o.d"
+  "multirail_bandwidth"
+  "multirail_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_compute.dir/overlap_compute.cpp.o"
+  "CMakeFiles/overlap_compute.dir/overlap_compute.cpp.o.d"
+  "overlap_compute"
+  "overlap_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("rcache")
+subdirs("nemesis")
+subdirs("nmad")
+subdirs("pioman")
+subdirs("ch3")
+subdirs("mpi")
+subdirs("baseline")
+subdirs("harness")
+subdirs("nas")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/base_transport.cpp" "src/baseline/CMakeFiles/nmx_baseline.dir/base_transport.cpp.o" "gcc" "src/baseline/CMakeFiles/nmx_baseline.dir/base_transport.cpp.o.d"
+  "/root/repo/src/baseline/mvapich.cpp" "src/baseline/CMakeFiles/nmx_baseline.dir/mvapich.cpp.o" "gcc" "src/baseline/CMakeFiles/nmx_baseline.dir/mvapich.cpp.o.d"
+  "/root/repo/src/baseline/openmpi.cpp" "src/baseline/CMakeFiles/nmx_baseline.dir/openmpi.cpp.o" "gcc" "src/baseline/CMakeFiles/nmx_baseline.dir/openmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nemesis/CMakeFiles/nmx_nemesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcache/CMakeFiles/nmx_rcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

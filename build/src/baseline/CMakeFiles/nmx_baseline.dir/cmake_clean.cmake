@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_baseline.dir/base_transport.cpp.o"
+  "CMakeFiles/nmx_baseline.dir/base_transport.cpp.o.d"
+  "CMakeFiles/nmx_baseline.dir/mvapich.cpp.o"
+  "CMakeFiles/nmx_baseline.dir/mvapich.cpp.o.d"
+  "CMakeFiles/nmx_baseline.dir/openmpi.cpp.o"
+  "CMakeFiles/nmx_baseline.dir/openmpi.cpp.o.d"
+  "libnmx_baseline.a"
+  "libnmx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

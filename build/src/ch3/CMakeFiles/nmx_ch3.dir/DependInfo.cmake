@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ch3/anysource.cpp" "src/ch3/CMakeFiles/nmx_ch3.dir/anysource.cpp.o" "gcc" "src/ch3/CMakeFiles/nmx_ch3.dir/anysource.cpp.o.d"
+  "/root/repo/src/ch3/process.cpp" "src/ch3/CMakeFiles/nmx_ch3.dir/process.cpp.o" "gcc" "src/ch3/CMakeFiles/nmx_ch3.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nmad/CMakeFiles/nmx_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemesis/CMakeFiles/nmx_nemesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pioman/CMakeFiles/nmx_pioman.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

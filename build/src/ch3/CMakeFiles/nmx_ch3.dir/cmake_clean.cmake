@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_ch3.dir/anysource.cpp.o"
+  "CMakeFiles/nmx_ch3.dir/anysource.cpp.o.d"
+  "CMakeFiles/nmx_ch3.dir/process.cpp.o"
+  "CMakeFiles/nmx_ch3.dir/process.cpp.o.d"
+  "libnmx_ch3.a"
+  "libnmx_ch3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_ch3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_common.dir/assert.cpp.o"
+  "CMakeFiles/nmx_common.dir/assert.cpp.o.d"
+  "libnmx_common.a"
+  "libnmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmx_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_harness.dir/netpipe.cpp.o"
+  "CMakeFiles/nmx_harness.dir/netpipe.cpp.o.d"
+  "CMakeFiles/nmx_harness.dir/overlap.cpp.o"
+  "CMakeFiles/nmx_harness.dir/overlap.cpp.o.d"
+  "CMakeFiles/nmx_harness.dir/table.cpp.o"
+  "CMakeFiles/nmx_harness.dir/table.cpp.o.d"
+  "libnmx_harness.a"
+  "libnmx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

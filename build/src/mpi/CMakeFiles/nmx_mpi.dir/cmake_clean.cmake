@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_mpi.dir/cluster.cpp.o"
+  "CMakeFiles/nmx_mpi.dir/cluster.cpp.o.d"
+  "CMakeFiles/nmx_mpi.dir/comm.cpp.o"
+  "CMakeFiles/nmx_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/nmx_mpi.dir/rma.cpp.o"
+  "CMakeFiles/nmx_mpi.dir/rma.cpp.o.d"
+  "libnmx_mpi.a"
+  "libnmx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

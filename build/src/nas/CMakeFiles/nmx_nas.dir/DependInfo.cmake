@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/btsp.cpp" "src/nas/CMakeFiles/nmx_nas.dir/btsp.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/btsp.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/nas/CMakeFiles/nmx_nas.dir/cg.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/cg.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "src/nas/CMakeFiles/nmx_nas.dir/ep.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/ep.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/nas/CMakeFiles/nmx_nas.dir/ft.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/nas/CMakeFiles/nmx_nas.dir/is.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/is.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/nas/CMakeFiles/nmx_nas.dir/lu.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/nas/CMakeFiles/nmx_nas.dir/mg.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/mg.cpp.o.d"
+  "/root/repo/src/nas/nas.cpp" "src/nas/CMakeFiles/nmx_nas.dir/nas.cpp.o" "gcc" "src/nas/CMakeFiles/nmx_nas.dir/nas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/nmx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch3/CMakeFiles/nmx_ch3.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nmx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcache/CMakeFiles/nmx_rcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/nmx_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemesis/CMakeFiles/nmx_nemesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pioman/CMakeFiles/nmx_pioman.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_nas.dir/btsp.cpp.o"
+  "CMakeFiles/nmx_nas.dir/btsp.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/cg.cpp.o"
+  "CMakeFiles/nmx_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/ep.cpp.o"
+  "CMakeFiles/nmx_nas.dir/ep.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/ft.cpp.o"
+  "CMakeFiles/nmx_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/is.cpp.o"
+  "CMakeFiles/nmx_nas.dir/is.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/lu.cpp.o"
+  "CMakeFiles/nmx_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/mg.cpp.o"
+  "CMakeFiles/nmx_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/nmx_nas.dir/nas.cpp.o"
+  "CMakeFiles/nmx_nas.dir/nas.cpp.o.d"
+  "libnmx_nas.a"
+  "libnmx_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

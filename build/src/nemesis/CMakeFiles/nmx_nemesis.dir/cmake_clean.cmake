@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_nemesis.dir/lfqueue.cpp.o"
+  "CMakeFiles/nmx_nemesis.dir/lfqueue.cpp.o.d"
+  "CMakeFiles/nmx_nemesis.dir/shm.cpp.o"
+  "CMakeFiles/nmx_nemesis.dir/shm.cpp.o.d"
+  "libnmx_nemesis.a"
+  "libnmx_nemesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_nemesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_net.dir/fabric.cpp.o"
+  "CMakeFiles/nmx_net.dir/fabric.cpp.o.d"
+  "libnmx_net.a"
+  "libnmx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmad/core.cpp" "src/nmad/CMakeFiles/nmx_nmad.dir/core.cpp.o" "gcc" "src/nmad/CMakeFiles/nmx_nmad.dir/core.cpp.o.d"
+  "/root/repo/src/nmad/sampling.cpp" "src/nmad/CMakeFiles/nmx_nmad.dir/sampling.cpp.o" "gcc" "src/nmad/CMakeFiles/nmx_nmad.dir/sampling.cpp.o.d"
+  "/root/repo/src/nmad/strategy.cpp" "src/nmad/CMakeFiles/nmx_nmad.dir/strategy.cpp.o" "gcc" "src/nmad/CMakeFiles/nmx_nmad.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

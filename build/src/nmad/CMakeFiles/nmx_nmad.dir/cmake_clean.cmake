@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_nmad.dir/core.cpp.o"
+  "CMakeFiles/nmx_nmad.dir/core.cpp.o.d"
+  "CMakeFiles/nmx_nmad.dir/sampling.cpp.o"
+  "CMakeFiles/nmx_nmad.dir/sampling.cpp.o.d"
+  "CMakeFiles/nmx_nmad.dir/strategy.cpp.o"
+  "CMakeFiles/nmx_nmad.dir/strategy.cpp.o.d"
+  "libnmx_nmad.a"
+  "libnmx_nmad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_nmad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

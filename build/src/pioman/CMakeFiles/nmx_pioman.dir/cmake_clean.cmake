@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_pioman.dir/ltask.cpp.o"
+  "CMakeFiles/nmx_pioman.dir/ltask.cpp.o.d"
+  "CMakeFiles/nmx_pioman.dir/pioman.cpp.o"
+  "CMakeFiles/nmx_pioman.dir/pioman.cpp.o.d"
+  "libnmx_pioman.a"
+  "libnmx_pioman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_pioman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

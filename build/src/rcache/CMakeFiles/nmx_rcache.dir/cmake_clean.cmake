@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_rcache.dir/rcache.cpp.o"
+  "CMakeFiles/nmx_rcache.dir/rcache.cpp.o.d"
+  "libnmx_rcache.a"
+  "libnmx_rcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_rcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

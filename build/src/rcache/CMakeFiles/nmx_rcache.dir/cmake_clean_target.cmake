@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmx_rcache.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmx_sim.dir/condition.cpp.o"
+  "CMakeFiles/nmx_sim.dir/condition.cpp.o.d"
+  "CMakeFiles/nmx_sim.dir/engine.cpp.o"
+  "CMakeFiles/nmx_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nmx_sim.dir/trace.cpp.o"
+  "CMakeFiles/nmx_sim.dir/trace.cpp.o.d"
+  "libnmx_sim.a"
+  "libnmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

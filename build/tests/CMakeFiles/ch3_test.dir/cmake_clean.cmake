@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch3_test.dir/ch3_test.cpp.o"
+  "CMakeFiles/ch3_test.dir/ch3_test.cpp.o.d"
+  "ch3_test"
+  "ch3_test.pdb"
+  "ch3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_split_test.dir/comm_split_test.cpp.o"
+  "CMakeFiles/comm_split_test.dir/comm_split_test.cpp.o.d"
+  "comm_split_test"
+  "comm_split_test.pdb"
+  "comm_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

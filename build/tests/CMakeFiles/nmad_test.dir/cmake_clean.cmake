@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmad_test.dir/nmad_test.cpp.o"
+  "CMakeFiles/nmad_test.dir/nmad_test.cpp.o.d"
+  "nmad_test"
+  "nmad_test.pdb"
+  "nmad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

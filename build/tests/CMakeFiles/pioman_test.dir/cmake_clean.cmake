@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pioman_test.dir/pioman_test.cpp.o"
+  "CMakeFiles/pioman_test.dir/pioman_test.cpp.o.d"
+  "pioman_test"
+  "pioman_test.pdb"
+  "pioman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pioman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcache_test.dir/rcache_test.cpp.o"
+  "CMakeFiles/rcache_test.dir/rcache_test.cpp.o.d"
+  "rcache_test"
+  "rcache_test.pdb"
+  "rcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/nmx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/nmx_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/nmx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch3/CMakeFiles/nmx_ch3.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/nmx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcache/CMakeFiles/nmx_rcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/nmx_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemesis/CMakeFiles/nmx_nemesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pioman/CMakeFiles/nmx_pioman.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rcache_test[1]_include.cmake")
+include("/root/repo/build/tests/nemesis_test[1]_include.cmake")
+include("/root/repo/build/tests/nmad_test[1]_include.cmake")
+include("/root/repo/build/tests/pioman_test[1]_include.cmake")
+include("/root/repo/build/tests/ch3_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/boundary_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_split_test[1]_include.cmake")
