@@ -12,10 +12,17 @@
 
 #include "harness/netpipe.hpp"
 #include "harness/overlap.hpp"
+#include "harness/sidecar.hpp"
 #include "harness/table.hpp"
 #include "mpi/cluster.hpp"
 
 namespace nmx::bench {
+
+/// Emit the figure's observability sidecar: a traced mixed workload on `cfg`,
+/// written as `<stem>.trace.json` (Perfetto) and `<stem>.metrics.csv`.
+inline void emit_default_sidecar(const std::string& stem, mpi::ClusterConfig cfg) {
+  harness::run_traced_sidecar(std::move(cfg), stem);
+}
 
 /// Register a google-benchmark entry reporting a netpipe point's latency and
 /// bandwidth as counters.

@@ -59,6 +59,7 @@ void print_tables() {
 
 int main(int argc, char** argv) {
   print_tables();
+  nmx::bench::emit_default_sidecar("fig4_ib", ib_config(nmx::mpi::StackKind::Mpich2Nmad));
   using nmx::bench::register_netpipe;
   register_netpipe("fig4/latency4B/MVAPICH2", ib_config(nmx::mpi::StackKind::Mvapich2), 4);
   register_netpipe("fig4/latency4B/OpenMPI", ib_config(nmx::mpi::StackKind::OpenMpiBtlIb), 4);

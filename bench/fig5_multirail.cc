@@ -59,6 +59,8 @@ void print_tables() {
 
 int main(int argc, char** argv) {
   print_tables();
+  nmx::bench::emit_default_sidecar(
+      "fig5_multirail", rail_config({nmx::net::ib_profile(), nmx::net::mx_profile()}));
   using nmx::bench::register_netpipe;
   register_netpipe("fig5/latency4B/MX", rail_config({nmx::net::mx_profile()}), 4);
   register_netpipe("fig5/latency4B/IB", rail_config({nmx::net::ib_profile()}), 4);

@@ -65,6 +65,8 @@ void print_tables() {
 
 int main(int argc, char** argv) {
   print_tables();
+  nmx::bench::emit_default_sidecar("fig6_pioman",
+                                   mx_config(nmx::mpi::StackKind::Mpich2Nmad, true));
   using nmx::bench::register_netpipe;
   register_netpipe("fig6/shm4B/Nemesis", shm_config(nmx::mpi::StackKind::Mpich2Nmad, false), 4);
   register_netpipe("fig6/shm4B/Nemesis-PIOMan", shm_config(nmx::mpi::StackKind::Mpich2Nmad, true),

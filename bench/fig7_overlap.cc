@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
             "(sending time, usec) ==\n",
             /*mx=*/false, {16384, 65536, 262144, 1048576}, 400e-6);
 
+  nmx::bench::emit_default_sidecar(
+      "fig7_overlap", cfg_for(nmx::mpi::StackKind::Mpich2Nmad, /*pioman=*/true, /*mx=*/false));
+
   auto reg = [](const std::string& name, nmx::mpi::StackKind stack, bool pioman, bool mx,
                 std::size_t size, double comp) {
     benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {

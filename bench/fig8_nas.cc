@@ -104,6 +104,9 @@ int main(int argc, char** argv) {
             << ", execution time in seconds (fraction=" << fraction << ") ==\n\n";
   for (int procs : {8, 16, 32, 64}) run_proc_count(procs, cls, fraction);
 
+  nmx::bench::emit_default_sidecar("fig8_nas",
+                                   testbed(nmx::mpi::StackKind::Mpich2Nmad, true, 8));
+
   // Machine-readable subset: CG and FT at 16 procs across the stacks.
   for (const auto& s : kStacks) {
     for (const char* kernel : {"CG", "FT"}) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/recorder.hpp"
+
 namespace nmx::baseline {
 
 MvapichTransport::MvapichTransport(Env env) : MvapichTransport(env, Config{}) {}
@@ -14,7 +16,13 @@ MvapichTransport::MvapichTransport(Env env, Config cfg)
 Time MvapichTransport::acquire_registration(const void* buf, std::size_t len) {
   if (!fabric().profile(rail()).needs_registration) return 0;
   if (!cfg_.use_rcache) return calib::ib_reg_cost(len);
-  return rcache_.acquire(reinterpret_cast<std::uintptr_t>(buf), len);
+  const std::size_t hits_before = rcache_.hits();
+  const Time cost = rcache_.acquire(reinterpret_cast<std::uintptr_t>(buf), len);
+  if (obs::Recorder* rec = eng().recorder()) {
+    const bool hit = rcache_.hits() > hits_before;
+    rec->metrics().counter(hit ? "rcache.hits" : "rcache.misses").add(1);
+  }
+  return cost;
 }
 
 void MvapichTransport::net_send(BaseRequest* req, const void* buf, std::size_t len) {

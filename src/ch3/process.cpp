@@ -75,7 +75,9 @@ Ch3Process::Ch3Process(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& r
 
   if (cfg_.pioman) {
     // §3.3.1: one polling authority for both intra- and inter-node traffic.
-    pioman_ = std::make_unique<pioman::Manager>(eng_);
+    pioman::ManagerConfig pc;
+    pc.rank = rank_;
+    pioman_ = std::make_unique<pioman::Manager>(eng_, pc);
     pioman_->submit("nmad-progress", [this] {
       core_->service();
       if (cfg_.bypass) as_probe_all();
@@ -137,13 +139,13 @@ void Ch3Process::run_nmad_completion(nmad::Request& r) {
 }
 
 nmad::Request* Ch3Process::nm_isend(int dst, nmad::Tag tag, const void* buf, std::size_t len,
-                                    std::function<void(nmad::Request&)> done) {
-  return core_->isend(dst, tag, buf, len, new_ctx(std::move(done)));
+                                    std::function<void(nmad::Request&)> done, obs::SpanId span) {
+  return core_->isend(dst, tag, buf, len, new_ctx(std::move(done)), span);
 }
 
 nmad::Request* Ch3Process::nm_irecv(int src, nmad::Tag tag, void* buf, std::size_t len,
-                                    std::function<void(nmad::Request&)> done) {
-  return core_->irecv(src, tag, buf, len, new_ctx(std::move(done)));
+                                    std::function<void(nmad::Request&)> done, obs::SpanId span) {
+  return core_->irecv(src, tag, buf, len, new_ctx(std::move(done)), span);
 }
 
 // ---------------------------------------------------------------------------
@@ -163,11 +165,19 @@ void Ch3Process::complete_recv(MpidRequest* req, int src, int tag, std::size_t c
   req->status.source = src;
   req->status.tag = tag;
   req->status.count = count;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->end(eng_.now(), rank_, obs::Cat::MsgRecv, req->span, count, src);
+    req->span = 0;
+  }
   finish(req);
 }
 
 void Ch3Process::complete_send(MpidRequest* req) {
   req->status.count = req->len;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->end(eng_.now(), rank_, obs::Cat::MsgSend, req->span, req->len, req->peer);
+    req->span = 0;
+  }
   finish(req);
 }
 
@@ -204,6 +214,9 @@ bool Ch3Process::match_unexpected(MpidRequest* req) {
     if (req->tag != mpi::ANY_TAG && req->tag != it->tag) continue;
     UnexMsg msg = std::move(*it);
     unexpected_.erase(it);
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().gauge("ch3.unexpected.depth").set(static_cast<double>(unexpected_.size()));
+    }
     if (msg.kind == UnexMsg::Kind::Eager) {
       NMX_ASSERT_MSG(msg.payload.size() <= req->len, "message overflows receive buffer");
       if (!msg.payload.empty()) {
@@ -235,6 +248,12 @@ bool Ch3Process::match_unexpected(MpidRequest* req) {
 void Ch3Process::deliver_local(UnexMsg msg) {
   MpidRequest* req = match_posted(msg.src, msg.tag, msg.context);
   if (req == nullptr) {
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->instant(eng_.now(), rank_, obs::Cat::Unexpected, msg.len, msg.src);
+      rec->metrics()
+          .gauge("ch3.unexpected.depth")
+          .set(static_cast<double>(unexpected_.size() + 1));
+    }
     unexpected_.push_back(std::move(msg));
     return;
   }
@@ -279,6 +298,9 @@ mpi::TxRequest* Ch3Process::isend(int dst, int tag, int context, const void* buf
   req->tag = tag;
   req->context = context;
   req->len = len;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    req->span = rec->begin(eng_.now(), rank_, obs::Cat::MsgSend, len, dst);
+  }
   vcs_[static_cast<std::size_t>(dst)].isend_fn(req, buf, len);
   return req;
 }
@@ -290,6 +312,9 @@ mpi::TxRequest* Ch3Process::irecv(int src, int tag, int context, void* buf, std:
   req->context = context;
   req->rbuf = static_cast<std::byte*>(buf);
   req->len = len;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    req->span = rec->begin(eng_.now(), rank_, obs::Cat::MsgRecv, len, src);
+  }
 
   if (src == mpi::ANY_SOURCE) {
     if (match_unexpected(req)) return req;
@@ -331,10 +356,12 @@ mpi::TxRequest* Ch3Process::irecv(int src, int tag, int context, void* buf, std:
 }
 
 void Ch3Process::post_remote_recv(MpidRequest* req) {
-  req->nmad_req = nm_irecv(req->peer, pack_tag(req->context, req->tag), req->rbuf, req->len,
-                           [this, req](nmad::Request& nr) {
-                             complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
-                           });
+  req->nmad_req = nm_irecv(
+      req->peer, pack_tag(req->context, req->tag), req->rbuf, req->len,
+      [this, req](nmad::Request& nr) {
+        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+      },
+      req->span);
 }
 
 void Ch3Process::release_deferred(MpidRequest* req) {
@@ -367,10 +394,15 @@ void Ch3Process::bind_any_source(MpidRequest* req, const nmad::ProbeInfo& found)
   // request dynamically; "it will be completed shortly after its creation".
   remove_posted(req);  // no longer eligible for shared-memory matching
   req->via_any_source = true;
-  req->nmad_req = nm_irecv(found.src, found.tag, req->rbuf, req->len,
-                           [this, req](nmad::Request& nr) {
-                             complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
-                           });
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->metrics().counter("ch3.anysource.binds").add(1);
+  }
+  req->nmad_req = nm_irecv(
+      found.src, found.tag, req->rbuf, req->len,
+      [this, req](nmad::Request& nr) {
+        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+      },
+      req->span);
   // Now remove the entry and release the deferred requests behind it. Done
   // after binding so none of them can steal the probed message.
   as_lists_.resolve(req, [this](MpidRequest* r) { release_deferred(r); });
@@ -440,8 +472,9 @@ void Ch3Process::send_shm(MpidRequest* req, const void* buf, std::size_t len) {
 }
 
 void Ch3Process::send_nmad_direct(MpidRequest* req, const void* buf, std::size_t len) {
-  req->nmad_req = nm_isend(req->peer, pack_tag(req->context, req->tag), buf, len,
-                           [this, req](nmad::Request&) { complete_send(req); });
+  req->nmad_req = nm_isend(
+      req->peer, pack_tag(req->context, req->tag), buf, len,
+      [this, req](nmad::Request&) { complete_send(req); }, req->span);
 }
 
 // ---------------------------------------------------------------------------

@@ -114,9 +114,9 @@ class Ch3Process final : public mpi::Transport {
   NmCtx* new_ctx(std::function<void(nmad::Request&)> fn);
   void run_nmad_completion(nmad::Request& r);
   nmad::Request* nm_isend(int dst, nmad::Tag tag, const void* buf, std::size_t len,
-                          std::function<void(nmad::Request&)> done);
+                          std::function<void(nmad::Request&)> done, obs::SpanId span = 0);
   nmad::Request* nm_irecv(int src, nmad::Tag tag, void* buf, std::size_t len,
-                          std::function<void(nmad::Request&)> done);
+                          std::function<void(nmad::Request&)> done, obs::SpanId span = 0);
 
   // send paths
   void send_self(MpidRequest* req, const void* buf, std::size_t len);

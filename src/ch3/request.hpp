@@ -9,6 +9,7 @@
 
 #include "mpi/transport.hpp"
 #include "nmad/types.hpp"
+#include "obs/recorder.hpp"
 
 namespace nmx::ch3 {
 
@@ -24,6 +25,9 @@ struct MpidRequest : mpi::TxRequest {
 
   /// §3.1.1: the NewMadeleine request backing this ADI request (bypass path).
   nmad::Request* nmad_req = nullptr;
+
+  /// Message-lifecycle span (MsgSend / MsgRecv), open from post to completion.
+  obs::SpanId span = 0;
 
   /// Completion reached through the any-source lists — charge the extra
   /// 300 ns the paper measures (§4.1.1).

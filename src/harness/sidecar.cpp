@@ -1,0 +1,53 @@
+#include "harness/sidecar.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/export_chrome.hpp"
+#include "obs/export_csv.hpp"
+
+namespace nmx::harness {
+
+bool write_sidecars(mpi::Cluster& cluster, const std::string& stem) {
+  obs::Recorder* rec = cluster.recorder();
+  if (rec == nullptr) return false;
+  obs::write_chrome_trace_file(*rec, stem + ".trace.json");
+  obs::write_metrics_csv_file(*rec, stem + ".metrics.csv");
+  return true;
+}
+
+std::size_t run_traced_sidecar(mpi::ClusterConfig cfg, const std::string& stem) {
+  cfg.trace = true;
+  cfg.pioman = true;  // so PIOMan pass metrics show up in the sidecar
+  mpi::Cluster cluster(cfg);
+
+  cluster.run([](mpi::Comm& c) {
+    // Rendezvous-sized ping across the network with overlapped compute, an
+    // eager message, and a closing barrier — touches every instrumented
+    // layer (strategy, rails, PIOMan, rendezvous handshake, wire, shm when
+    // ranks share a node).
+    std::vector<std::byte> big(256 * 1024), small(1024);
+    const int partner = c.rank() ^ 1;
+    if (partner < c.size()) {
+      if (c.rank() % 2 == 0) {
+        mpi::Request r = c.isend(big.data(), big.size(), partner, 7);
+        c.compute(30e-6);
+        c.wait(r);
+        c.send(small.data(), small.size(), partner, 8);
+      } else {
+        c.recv(big.data(), big.size(), partner, 7);
+        c.recv(small.data(), small.size(), partner, 8);
+      }
+    }
+    c.barrier();
+  });
+
+  const bool ok = write_sidecars(cluster, stem);
+  if (ok) {
+    std::printf("sidecars: %s.trace.json (open in https://ui.perfetto.dev), %s.metrics.csv\n",
+                stem.c_str(), stem.c_str());
+  }
+  return cluster.recorder() != nullptr ? cluster.recorder()->size() : 0;
+}
+
+}  // namespace nmx::harness

@@ -1,0 +1,25 @@
+// Observability sidecars: given a traced cluster, write the Chrome
+// trace-event JSON (`<stem>.trace.json`, loadable in Perfetto / about:tracing)
+// and the metrics CSV (`<stem>.metrics.csv`) next to a bench's printed
+// tables. The per-figure benches call run_traced_sidecar() after their tables
+// so every fig*_* run leaves machine-readable artifacts behind.
+#pragma once
+
+#include <string>
+
+#include "mpi/cluster.hpp"
+
+namespace nmx::harness {
+
+/// Write `<stem>.trace.json` and `<stem>.metrics.csv` from the cluster's
+/// recorder. Returns false (and writes nothing) if tracing was off.
+bool write_sidecars(mpi::Cluster& cluster, const std::string& stem);
+
+/// Run a small mixed workload (network rendezvous + overlap compute, eager
+/// shared-memory traffic, a barrier) on `cfg` with tracing and PIOMan forced
+/// on, then write both sidecars. One call per bench binary gives every
+/// figure a Perfetto-loadable trace without touching its measured runs.
+/// Returns the number of trace records captured.
+std::size_t run_traced_sidecar(mpi::ClusterConfig cfg, const std::string& stem);
+
+}  // namespace nmx::harness

@@ -24,7 +24,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   NMX_ASSERT(!cfg_.rails.empty());
   if (cfg_.trace) {
     tracer_ = std::make_unique<sim::Tracer>();
-    eng_.set_tracer(tracer_.get());
+    eng_.set_recorder(&tracer_->recorder());
   }
   net::Topology topo = cfg_.cyclic_mapping
                            ? net::Topology::cyclic(cfg_.nodes, cfg_.procs, cfg_.rails)

@@ -77,6 +77,8 @@ class Cluster {
   Time now() const { return eng_.now(); }
   /// The attached tracer (null unless config().trace).
   sim::Tracer* tracer() { return tracer_.get(); }
+  /// The underlying observability store (null unless config().trace).
+  obs::Recorder* recorder() { return tracer_ ? &tracer_->recorder() : nullptr; }
 
  private:
   ClusterConfig cfg_;

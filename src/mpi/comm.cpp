@@ -69,7 +69,7 @@ Comm Comm::split(int color, int key) {
 int Comm::waitany(std::span<Request> reqs, Status* st) {
   // Poll-free: wait on each in turn would serialize; instead register this
   // actor as a waiter on every active request and block until one fires.
-  trace(sim::TraceCat::MpiWait);
+  const obs::SpanId sp = span_begin(obs::Cat::MpiWait);
   tx_.enter_progress();
   for (;;) {
     int active = -1;
@@ -81,6 +81,7 @@ int Comm::waitany(std::span<Request> reqs, Status* st) {
         tx_.release(reqs[i].req_);
         reqs[i].req_ = nullptr;
         tx_.leave_progress();
+        span_end(obs::Cat::MpiWait, sp);
         return static_cast<int>(i);
       }
     }
@@ -100,7 +101,8 @@ int Comm::waitany(std::span<Request> reqs, Status* st) {
 }
 
 void Comm::barrier() {
-  trace(sim::TraceCat::MpiColl, 0, 0);
+  trace(obs::Cat::MpiColl, 0, 0);
+  if (obs::Recorder* r = rec()) r->metrics().counter("mpi.coll.count").add(1);
   // Dissemination barrier: ceil(log2 P) rounds.
   constexpr int kTag = 1000;
   int round = 0;

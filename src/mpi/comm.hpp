@@ -57,11 +57,16 @@ class Comm {
   // --- point-to-point -----------------------------------------------------
 
   Request isend(const void* buf, std::size_t len, int dst, int tag) {
-    trace(sim::TraceCat::MpiSend, len, dst);
+    trace(obs::Cat::MpiSend, len, dst);
+    if (obs::Recorder* r = rec()) {
+      r->metrics().counter("mpi.send.count").add(1);
+      r->metrics().counter("mpi.send.bytes").add(len);
+    }
     return wrap(tx_.isend(global(dst), tag, ctx_base_ + kUserContext, buf, len));
   }
   Request irecv(void* buf, std::size_t cap, int src, int tag) {
-    trace(sim::TraceCat::MpiRecv, cap, src);
+    trace(obs::Cat::MpiRecv, cap, src);
+    if (obs::Recorder* r = rec()) r->metrics().counter("mpi.recv.count").add(1);
     return wrap(tx_.irecv(global_or_any(src), tag, ctx_base_ + kUserContext, buf, cap));
   }
   void send(const void* buf, std::size_t len, int dst, int tag) {
@@ -75,8 +80,9 @@ class Comm {
 
   Status wait(Request& r) {
     NMX_ASSERT_MSG(r.valid(), "wait on an inactive request");
-    trace(sim::TraceCat::MpiWait);
+    const obs::SpanId sp = span_begin(obs::Cat::MpiWait);
     tx_.wait(actor_, r.req_);
+    span_end(obs::Cat::MpiWait, sp);
     const Status st = localized(r.req_->status);
     tx_.release(r.req_);
     r.req_ = nullptr;
@@ -224,8 +230,10 @@ class Comm {
   /// Model `seconds` of application computation (advances virtual time;
   /// dilated by stacks whose progression machinery steals cycles).
   void compute(double seconds) {
-    trace(sim::TraceCat::Compute, static_cast<std::size_t>(seconds * 1e9));
+    const obs::SpanId sp =
+        span_begin(obs::Cat::Compute, static_cast<std::size_t>(seconds * 1e9));
     actor_.sleep_for(seconds * tx_.compute_dilation());
+    span_end(obs::Cat::Compute, sp, static_cast<std::size_t>(seconds * 1e9));
   }
 
   sim::Actor& actor() { return actor_; }
@@ -251,8 +259,17 @@ class Comm {
     h.req_ = r;
     return h;
   }
-  void trace(sim::TraceCat cat, std::size_t bytes = 0, std::int64_t a = 0) {
-    if (sim::Tracer* tr = eng_.tracer()) tr->record(eng_.now(), rank_, cat, bytes, a);
+  obs::Recorder* rec() { return eng_.recorder(); }
+  void trace(obs::Cat cat, std::size_t bytes = 0, std::int64_t a = 0) {
+    if (obs::Recorder* r = rec()) r->instant(eng_.now(), rank_, cat, bytes, a);
+  }
+  obs::SpanId span_begin(obs::Cat cat, std::size_t bytes = 0, std::int64_t a = 0) {
+    obs::Recorder* r = rec();
+    return r != nullptr ? r->begin(eng_.now(), rank_, cat, bytes, a) : obs::SpanId{0};
+  }
+  void span_end(obs::Cat cat, obs::SpanId sp, std::size_t bytes = 0, std::int64_t a = 0) {
+    if (sp == 0) return;
+    if (obs::Recorder* r = rec()) r->end(eng_.now(), rank_, cat, sp, bytes, a);
   }
   /// local rank in this communicator -> transport (world) rank
   int global(int local) const {

@@ -81,8 +81,10 @@ void ShmNode::pump(int src_local) {
           std::max(g.end + cfg_.latency + copy_time(wire_bytes), ps.last_arrival);
       ps.last_arrival = arrival;
       ++cells_in_flight_;
-      if (sim::Tracer* tr = eng_.tracer()) {
-        tr->record(eng_.now(), src_local, sim::TraceCat::ShmCell, wire_bytes, s.dst_local);
+      if (obs::Recorder* rec = eng_.recorder()) {
+        rec->instant(eng_.now(), src_local, obs::Cat::ShmCell, wire_bytes, s.dst_local);
+        rec->metrics().counter("shm.cells").add(1);
+        rec->metrics().counter("shm.cell_bytes").add(wire_bytes);
       }
       const int dst = s.dst_local;
       eng_.schedule(arrival, [this, ci, dst] {

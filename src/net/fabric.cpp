@@ -1,8 +1,10 @@
 #include "net/fabric.hpp"
 
+#include <string>
 #include <utility>
 
 #include "net/calibration.hpp"
+#include "obs/recorder.hpp"
 
 namespace nmx::net {
 
@@ -67,6 +69,11 @@ Time Fabric::transmit(WirePacket pkt) {
   const Time delivery = std::max(out.end + prof.wire_latency, in.end);
 
   ++packets_sent_;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    const std::string rail_label = "rail=" + std::to_string(pkt.rail);
+    rec->metrics().counter("net.rail.tx_packets", rail_label).add(1);
+    rec->metrics().counter("net.rail.tx_bytes", rail_label).add(pkt.bytes);
+  }
   eng_.schedule(delivery, [&dst, p = std::move(pkt)]() mutable { dst.rx(std::move(p)); });
   return out.end;
 }

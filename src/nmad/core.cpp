@@ -1,6 +1,8 @@
 #include "nmad/core.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 #include <utility>
 
 namespace nmx::nmad {
@@ -43,7 +45,8 @@ bool Core::any_rail_needs_registration() const {
 // nm_sr interface
 // --------------------------------------------------------------------------
 
-Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx) {
+Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx,
+                     std::uint64_t span) {
   NMX_ASSERT_MSG(dst != my_proc_, "NewMadeleine handles inter-node traffic only");
   Request* req = new_request([&] {
     Request r;
@@ -53,15 +56,18 @@ Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* u
     r.len = len;
     r.sbuf = static_cast<const std::byte*>(buf);
     r.user_ctx = user_ctx;
+    r.span = span;
     return r;
   }());
 
   GateState& g = gate(dst);
   const std::uint32_t seq = g.send_seq[tag]++;
+  obs::Recorder* rec = eng_.recorder();
   Entry e;
   e.dst_proc = dst;
   e.tag = tag;
   e.seq = seq;
+  e.span = span;
   if (len <= cfg_.rdv_threshold) {
     e.kind = Entry::Kind::Eager;
     if (len > 0) {
@@ -69,25 +75,35 @@ Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* u
       std::memcpy(e.bytes.data(), buf, len);
     }
     e.sreq = req;
-  } else {
-    // Internal rendezvous (§2.1.3): RTS now, data after the CTS grant.
-    if (sim::Tracer* tr = eng_.tracer()) {
-      tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadRdv, len, dst);
+    if (rec != nullptr) {
+      rec->metrics().counter("nmad.eager.count").add(1);
+      rec->metrics().counter("nmad.eager.bytes").add(len);
     }
+  } else {
+    // Internal rendezvous (§2.1.3): RTS now, data after the CTS grant. The
+    // NmadRdv span covers the handshake: RTS post -> CTS back at the sender.
     const std::uint64_t id = next_rdv_++;
     req->rdv_id = id;
+    req->rdv_rts_t = eng_.now();
     rdv_out_.emplace(id, req);
     ++rdv_started_;
     e.kind = Entry::Kind::Rts;
     e.rdv_id = id;
     e.rdv_total = len;
+    if (rec != nullptr) {
+      req->rdv_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadRdv, len, dst);
+      rec->instant(eng_.now(), my_proc_, obs::Cat::RdvRts, len, dst);
+      rec->metrics().counter("nmad.rdv.count").add(1);
+      rec->metrics().counter("nmad.rdv.bytes").add(len);
+    }
   }
-  strategy_->enqueue(std::move(e));
+  enqueue(std::move(e));
   kick();
   return req;
 }
 
-Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx) {
+Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx,
+                     std::uint64_t span) {
   NMX_ASSERT_MSG(src != my_proc_, "NewMadeleine handles inter-node traffic only");
   Request* req = new_request([&] {
     Request r;
@@ -97,6 +113,7 @@ Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ct
     r.len = len;
     r.rbuf = static_cast<std::byte*>(buf);
     r.user_ctx = user_ctx;
+    r.span = span;
     return r;
   }());
 
@@ -106,6 +123,9 @@ Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ct
     Unexpected u = std::move(unex.front());
     unex.pop_front();
     --unexpected_total_;
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().gauge("nmad.unexpected.depth").set(static_cast<double>(unexpected_total_));
+    }
     if (!u.rdv) {
       NMX_ASSERT_MSG(u.payload.size() <= req->len, "eager message overflows receive buffer");
       if (!u.payload.empty()) std::memcpy(req->rbuf, u.payload.data(), u.payload.size());
@@ -165,6 +185,16 @@ void Core::progress() {
   try_flush();
 }
 
+void Core::enqueue(Entry e) {
+  ++strat_depth_;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::StratEnqueue, e.wire_bytes(),
+                 static_cast<std::int64_t>(e.kind));
+    rec->metrics().gauge("nmad.strategy.queue_depth").set(static_cast<double>(strat_depth_));
+  }
+  strategy_->enqueue(std::move(e));
+}
+
 void Core::kick() {
   if (progress_allowed()) {
     try_flush();
@@ -208,8 +238,14 @@ void Core::submit(int local_rail, WireMsg wm) {
 
   const int dst = wm.dst_proc;
   const std::size_t bytes = wm.wire_bytes();
-  if (sim::Tracer* tr = eng_.tracer()) {
-    tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadTx, bytes, local_rail);
+  strat_depth_ -= std::min(strat_depth_, wm.entries.size());
+  if (obs::Recorder* rec = eng_.recorder()) {
+    d.tx_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadTx, bytes, local_rail);
+    d.tx_begin = eng_.now();
+    rec->metrics().gauge("nmad.strategy.queue_depth").set(static_cast<double>(strat_depth_));
+    const std::string rail_label = "rail=" + std::to_string(local_rail);
+    rec->metrics().counter("nmad.rail.tx_packets", rail_label).add(1);
+    rec->metrics().counter("nmad.rail.tx_bytes", rail_label).add(bytes);
   }
   eng_.schedule_in(pre, [this, local_rail, dst, bytes, wm = std::move(wm),
                          notes = std::move(notes)]() mutable {
@@ -228,7 +264,15 @@ void Core::submit(int local_rail, WireMsg wm) {
 }
 
 void Core::on_egress(int local_rail, std::vector<Note> notes) {
-  drivers_[static_cast<std::size_t>(local_rail)].busy = false;
+  Driver& d = drivers_[static_cast<std::size_t>(local_rail)];
+  d.busy = false;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->end(eng_.now(), my_proc_, obs::Cat::NmadTx, d.tx_span, 0, local_rail);
+    rec->metrics()
+        .counter("nmad.rail.busy_ns", "rail=" + std::to_string(local_rail))
+        .add(static_cast<std::uint64_t>((eng_.now() - d.tx_begin) * 1e9));
+    d.tx_span = 0;
+  }
   for (const Note& n : notes) {
     if (n.kind == Entry::Kind::Eager) {
       complete(*n.sreq);
@@ -272,8 +316,10 @@ void Core::drain_rx() {
 }
 
 void Core::handle_wire(WireMsg m) {
-  if (sim::Tracer* tr = eng_.tracer()) {
-    tr->record(eng_.now(), my_proc_, sim::TraceCat::NmadRx, m.wire_bytes(), m.src_proc);
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::NmadRx, m.wire_bytes(), m.src_proc);
+    rec->metrics().counter("nmad.rx.msgs").add(1);
+    rec->metrics().counter("nmad.rx.bytes").add(m.wire_bytes());
   }
   const int src = m.src_proc;
   for (Entry& e : m.entries) {
@@ -344,6 +390,10 @@ void Core::deliver_eager(int src, Entry& e) {
   u.payload = std::move(e.bytes);
   g.unexpected[e.tag].push_back(std::move(u));
   ++unexpected_total_;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::Unexpected, len, src);
+    rec->metrics().gauge("nmad.unexpected.depth").set(static_cast<double>(unexpected_total_));
+  }
   if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, len});
 }
 
@@ -363,6 +413,10 @@ void Core::handle_rts(int src, Entry& e) {
   u.rdv_id = e.rdv_id;
   g.unexpected[e.tag].push_back(std::move(u));
   ++unexpected_total_;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::Unexpected, e.rdv_total, src);
+    rec->metrics().gauge("nmad.unexpected.depth").set(static_cast<double>(unexpected_total_));
+  }
   if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, e.rdv_total});
 }
 
@@ -375,12 +429,16 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
   // Grant: register the receive buffer (on-the-fly, uncached) and send CTS.
   Time reg = 0;
   if (any_rail_needs_registration()) reg = calib::ib_reg_cost(total);
-  auto send_cts = [this, src, rdv_id] {
+  auto send_cts = [this, src, rdv_id, span = req->span] {
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->instant(eng_.now(), my_proc_, obs::Cat::RdvCts, 0, src);
+    }
     Entry cts;
     cts.kind = Entry::Kind::Cts;
     cts.dst_proc = src;
     cts.rdv_id = rdv_id;
-    strategy_->enqueue(std::move(cts));
+    cts.span = span;
+    enqueue(std::move(cts));
     kick();
   };
   if (reg > 0) {
@@ -394,6 +452,15 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
   auto it = rdv_out_.find(rdv_id);
   NMX_ASSERT_MSG(it != rdv_out_.end(), "CTS for unknown rendezvous");
   Request* req = it->second;
+
+  // The CTS closes the sender-side handshake span begun at the RTS post.
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->end(eng_.now(), my_proc_, obs::Cat::NmadRdv, req->rdv_span, req->len, req->peer);
+    req->rdv_span = 0;
+    rec->metrics()
+        .histogram("nmad.rdv.handshake_us", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
+        .observe((eng_.now() - req->rdv_rts_t) * 1e6);
+  }
 
   // Plan the data chunks across rails (adaptive split for SplitBalance).
   const std::vector<std::size_t> shares = strategy_->plan_rdv(req->len);
@@ -414,8 +481,9 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
     e.rail = static_cast<int>(r);
     e.bytes.assign(req->sbuf + offset, req->sbuf + offset + shares[r]);
     e.sreq = req;
+    e.span = req->span;
     offset += shares[r];
-    strategy_->enqueue(std::move(e));
+    enqueue(std::move(e));
   }
   NMX_ASSERT(offset == req->len);
   kick();
@@ -425,6 +493,10 @@ void Core::handle_rdv_data(int src, Entry& e) {
   auto it = rdv_in_.find({src, e.rdv_id});
   NMX_ASSERT_MSG(it != rdv_in_.end(), "rendezvous data without matching grant");
   Request* req = it->second.req;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::RdvData, e.bytes.size(),
+                 static_cast<std::int64_t>(e.span));
+  }
   NMX_ASSERT(e.offset + e.bytes.size() <= req->len);
   if (!e.bytes.empty()) std::memcpy(req->rbuf + e.offset, e.bytes.data(), e.bytes.size());
   NMX_ASSERT(req->chunks_outstanding >= e.bytes.size());

@@ -57,11 +57,15 @@ class Core {
 
   // --- nm_sr interface ----------------------------------------------------
 
-  /// nm_sr_isend(destination, tag, buffer, size) — §2.2.1.
-  Request* isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx = nullptr);
+  /// nm_sr_isend(destination, tag, buffer, size) — §2.2.1. `span` is the
+  /// upper layer's message-lifecycle span id (0 = none), threaded onto the
+  /// wire entries for end-to-end tracing.
+  Request* isend(int dst, Tag tag, const void* buf, std::size_t len, void* user_ctx = nullptr,
+                 std::uint64_t span = 0);
   /// nm_sr_irecv(source, tag, buffer, capacity) — §2.2.1. The source must be
   /// known; MPI_ANY_SOURCE is handled above us by the CH3 lists (§3.2).
-  Request* irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx = nullptr);
+  Request* irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ctx = nullptr,
+                 std::uint64_t span = 0);
 
   bool test(const Request* r) const { return r->completed; }
   /// Free a request the upper layer is done with. Requests cannot be
@@ -142,6 +146,8 @@ class Core {
   struct Driver {
     int fabric_rail = 0;
     bool busy = false;
+    std::uint64_t tx_span = 0;  ///< open NicTx span (one per rail: busy-gated)
+    Time tx_begin = 0;          ///< submission time of the in-flight packet
   };
 
   struct Note {  // sender-side egress bookkeeping
@@ -151,6 +157,8 @@ class Core {
 
   Request* new_request(Request r);
   GateState& gate(int peer);
+  /// Strategy hand-off, instrumented: StratEnqueue record + queue-depth gauge.
+  void enqueue(Entry e);
   void kick();
   void try_flush();
   void submit(int local_rail, WireMsg wm);
@@ -195,6 +203,7 @@ class Core {
   std::uint64_t arrival_counter_ = 0;
   std::size_t unexpected_total_ = 0;
   std::size_t rdv_started_ = 0;
+  std::size_t strat_depth_ = 0;  ///< entries handed to the strategy, not yet on a NIC
 };
 
 }  // namespace nmx::nmad

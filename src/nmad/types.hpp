@@ -56,6 +56,11 @@ struct Request {
   std::size_t chunks_outstanding = 0;  ///< rendezvous chunks not yet on the wire
   std::uint64_t rdv_id = 0;            ///< nonzero while in rendezvous
 
+  // observability (obs/recorder.hpp): spans threaded through the stack
+  std::uint64_t span = 0;      ///< upper-layer message-lifecycle span id
+  std::uint64_t rdv_span = 0;  ///< sender-side rendezvous-handshake span id
+  Time rdv_rts_t = 0;          ///< when the RTS was posted (handshake latency)
+
   std::list<Request>::iterator self;  ///< owner-list position (for release)
 };
 

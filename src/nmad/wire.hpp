@@ -31,6 +31,7 @@ struct Entry {
   std::vector<std::byte> bytes; ///< Eager payload or RdvChunk data
   Request* sreq = nullptr;      ///< sender request to progress at egress
   int rail = 0;                 ///< local rail, assigned by the strategy
+  std::uint64_t span = 0;       ///< message-lifecycle span this entry belongs to
 
   /// Header cost of this entry on the wire.
   std::size_t header_bytes() const {

@@ -1,0 +1,199 @@
+#include "obs/export_chrome.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <queue>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace nmx::obs {
+
+namespace {
+
+// pid used for records with no rank (engine/background context).
+constexpr int kEnginePid = 1 << 20;
+
+int pid_of(const Record& r) { return r.rank >= 0 ? r.rank : kEnginePid; }
+
+const char* group_of(Cat cat) {
+  switch (cat) {
+    case Cat::MpiSend:
+    case Cat::MpiRecv:
+    case Cat::MpiWait:
+    case Cat::MpiColl: return "mpi";
+    case Cat::MsgSend:
+    case Cat::MsgRecv: return "msg";
+    case Cat::Compute: return "app";
+    case Cat::PiomanPass: return "pioman";
+    case Cat::ShmCell: return "shm";
+    default: return "nmad";
+  }
+}
+
+/// Base lane a span renders on inside its rank's process.
+std::string lane_of(const Record& begin) {
+  switch (begin.cat) {
+    case Cat::MpiWait: return "wait";
+    case Cat::Compute: return "compute";
+    case Cat::MsgSend: return "msg send";
+    case Cat::MsgRecv: return "msg recv";
+    case Cat::NmadRdv: return "rdv handshake";
+    case Cat::NmadTx: return "rail " + std::to_string(begin.arg) + " tx";
+    default: return "spans";
+  }
+}
+
+struct SpanOut {
+  int pid;
+  std::string lane;  // base lane; slot suffix appended during layout
+  Time t0, t1;
+  Cat cat;
+  SpanId span;
+  std::size_t bytes;
+  std::int64_t arg;
+  std::size_t order;  // record index of the Begin, for stable layout
+};
+
+std::string fmt_us(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t chrome_event_count(const Recorder& rec) {
+  std::size_t n = 0;
+  for (const Record& r : rec.records()) {
+    if (r.ph != Ph::End) ++n;  // every Instant and every Begin emits one event
+  }
+  return n;
+}
+
+void write_chrome_trace(const Recorder& rec, std::ostream& os) {
+  const std::vector<Record>& recs = rec.records();
+
+  // Pair span begins with their ends.
+  std::map<SpanId, std::size_t> open;  // span -> begin record index
+  std::vector<SpanOut> spans;
+  std::vector<std::size_t> lone_begins;  // begins with no end: emit as instants
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    if (r.ph == Ph::Begin) {
+      open[r.span] = i;
+    } else if (r.ph == Ph::End) {
+      const auto it = open.find(r.span);
+      if (it == open.end()) continue;  // stray end: drop
+      const Record& b = recs[it->second];
+      spans.push_back(SpanOut{pid_of(b), lane_of(b), b.t, r.t, b.cat, b.span, b.bytes, b.arg,
+                              it->second});
+      open.erase(it);
+    }
+  }
+  for (const auto& [id, idx] : open) lone_begins.push_back(idx);
+
+  // Layout: spread overlapping spans of one (pid, lane) over numbered
+  // sub-lanes (greedy interval partitioning) so slices never overlap within
+  // a track — Perfetto renders every slice instead of dropping unnested ones.
+  std::sort(spans.begin(), spans.end(), [](const SpanOut& a, const SpanOut& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    return a.order < b.order;
+  });
+  {
+    std::map<std::pair<int, std::string>, std::priority_queue<std::pair<Time, int>,
+                                                              std::vector<std::pair<Time, int>>,
+                                                              std::greater<>>>
+        lanes;  // (pid, lane) -> min-heap of (end time, slot)
+    for (SpanOut& s : spans) {
+      auto& heap = lanes[{s.pid, s.lane}];
+      int slot;
+      if (!heap.empty() && heap.top().first <= s.t0) {
+        slot = heap.top().second;
+        heap.pop();
+      } else {
+        slot = static_cast<int>(heap.size());
+      }
+      heap.push({s.t1, slot});
+      if (slot > 0) s.lane += " #" + std::to_string(slot);
+    }
+  }
+
+  // Assign tids: 0 is the instants lane of every pid; span lanes get 1, 2, ...
+  // in first-appearance order.
+  std::map<std::pair<int, std::string>, int> tids;
+  std::map<int, int> next_tid;
+  std::vector<int> pids;
+  auto note_pid = [&](int pid) {
+    if (next_tid.find(pid) == next_tid.end()) {
+      next_tid[pid] = 1;
+      pids.push_back(pid);
+    }
+  };
+  for (const Record& r : recs) note_pid(pid_of(r));
+  for (const SpanOut& s : spans) {
+    note_pid(s.pid);
+    if (tids.find({s.pid, s.lane}) == tids.end()) tids[{s.pid, s.lane}] = next_tid[s.pid]++;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Metadata: name every process and lane.
+  for (int pid : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\""
+       << (pid == kEnginePid ? std::string("sim engine") : "rank " + std::to_string(pid))
+       << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"events\"}}";
+  }
+  for (const auto& [key, tid] : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first << ",\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << key.second << "\"}}";
+  }
+
+  // Spans as complete slices.
+  for (const SpanOut& s : spans) {
+    sep();
+    os << "{\"ph\":\"X\",\"name\":\"" << to_string(s.cat) << "\",\"cat\":\"" << group_of(s.cat)
+       << "\",\"ts\":" << fmt_us(s.t0) << ",\"dur\":" << fmt_us(s.t1 - s.t0)
+       << ",\"pid\":" << s.pid << ",\"tid\":" << tids[{s.pid, s.lane}]
+       << ",\"args\":{\"span\":" << s.span << ",\"bytes\":" << s.bytes << ",\"arg\":" << s.arg
+       << "}}";
+  }
+
+  // Instants (plus unmatched begins, so no record is silently lost).
+  auto emit_instant = [&](const Record& r) {
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << to_string(r.cat) << "\",\"cat\":\""
+       << group_of(r.cat) << "\",\"ts\":" << fmt_us(r.t) << ",\"pid\":" << pid_of(r)
+       << ",\"tid\":0,\"args\":{\"span\":" << r.span << ",\"bytes\":" << r.bytes
+       << ",\"arg\":" << r.arg << "}}";
+  };
+  for (const Record& r : recs) {
+    if (r.ph == Ph::Instant) emit_instant(r);
+  }
+  for (std::size_t idx : lone_begins) emit_instant(recs[idx]);
+
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const Recorder& rec, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(rec, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace nmx::obs

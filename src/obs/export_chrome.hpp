@@ -1,0 +1,27 @@
+// Chrome trace-event JSON exporter. The output loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing: one process ("pid") per MPI
+// rank, named lanes per activity kind — and one lane per NIC rail — inside
+// each rank. Spans export as complete ("X") slices with their span id, bytes
+// and peer/rail in args; instant records export as "i" marks. Overlapping
+// spans of the same kind (e.g. concurrent sends from one rank) are spread
+// over numbered sub-lanes so every slice track stays properly nested.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace nmx::obs {
+
+class Recorder;
+
+void write_chrome_trace(const Recorder& rec, std::ostream& os);
+
+/// Number of trace events (excluding metadata) write_chrome_trace emits:
+/// one per instant record plus one per span. Lets tests round-trip counts.
+std::size_t chrome_event_count(const Recorder& rec);
+
+/// Convenience: write to `path`. Returns false if the file cannot be opened.
+bool write_chrome_trace_file(const Recorder& rec, const std::string& path);
+
+}  // namespace nmx::obs

@@ -1,0 +1,33 @@
+#include "obs/export_csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/recorder.hpp"
+
+namespace nmx::obs {
+
+void write_metrics_csv(const Recorder& rec, std::ostream& os) {
+  rec.metrics().write_csv(os);
+}
+
+bool write_metrics_csv_file(const Recorder& rec, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_csv(rec, os);
+  return static_cast<bool>(os);
+}
+
+void write_events_csv(const Recorder& rec, std::ostream& os) {
+  os << "t_us,rank,category,phase,span,bytes,arg\n";
+  for (const Record& r : rec.records()) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "%.3f", r.t * 1e6);
+    const char* ph = r.ph == Ph::Instant ? "i" : r.ph == Ph::Begin ? "B" : "E";
+    os << t << ',' << r.rank << ',' << to_string(r.cat) << ',' << ph << ',' << r.span << ','
+       << r.bytes << ',' << r.arg << '\n';
+  }
+}
+
+}  // namespace nmx::obs

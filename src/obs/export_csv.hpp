@@ -1,0 +1,22 @@
+// CSV exporters: the metrics sidecar every figure bench writes next to its
+// table, and a raw event dump for per-message dependency analysis (the LLAMP
+// style of latency-sensitivity work needs the individual records, not the
+// aggregates).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace nmx::obs {
+
+class Recorder;
+
+/// Metrics registry dump: `kind,name,label,field,value` (see
+/// Registry::write_csv for the row grammar).
+void write_metrics_csv(const Recorder& rec, std::ostream& os);
+bool write_metrics_csv_file(const Recorder& rec, const std::string& path);
+
+/// Raw record dump: `t_us,rank,category,phase,span,bytes,arg`.
+void write_events_csv(const Recorder& rec, std::ostream& os);
+
+}  // namespace nmx::obs

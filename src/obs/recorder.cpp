@@ -1,0 +1,43 @@
+#include "obs/recorder.hpp"
+
+#include <map>
+
+namespace nmx::obs {
+
+const char* to_string(Cat cat) {
+  switch (cat) {
+    case Cat::MpiSend: return "MPI_SEND";
+    case Cat::MpiRecv: return "MPI_RECV";
+    case Cat::MpiWait: return "MPI_WAIT";
+    case Cat::MpiColl: return "MPI_COLL";
+    case Cat::NmadTx: return "NMAD_TX";
+    case Cat::NmadRx: return "NMAD_RX";
+    case Cat::NmadRdv: return "NMAD_RDV";
+    case Cat::ShmCell: return "SHM_CELL";
+    case Cat::PiomanPass: return "PIOM_PASS";
+    case Cat::Compute: return "COMPUTE";
+    case Cat::MsgSend: return "MSG_SEND";
+    case Cat::MsgRecv: return "MSG_RECV";
+    case Cat::StratEnqueue: return "STRAT_ENQ";
+    case Cat::RdvRts: return "RDV_RTS";
+    case Cat::RdvCts: return "RDV_CTS";
+    case Cat::RdvData: return "RDV_DATA";
+    case Cat::Unexpected: return "UNEXPECTED";
+  }
+  return "?";
+}
+
+std::vector<SpanId> Recorder::unbalanced_spans() const {
+  std::map<SpanId, int> open;  // +1 per Begin, -1 per End
+  for (const Record& r : records_) {
+    if (r.ph == Ph::Begin) ++open[r.span];
+    if (r.ph == Ph::End) --open[r.span];
+  }
+  std::vector<SpanId> out;
+  for (const auto& [id, n] : open) {
+    if (n != 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace nmx::obs

@@ -1,0 +1,115 @@
+// The observability store: a flat, time-ordered stream of typed records
+// (instants and span begin/end pairs) plus the metrics registry. Layers reach
+// it through sim::Engine::recorder(); when none is attached, instrumentation
+// costs one null check.
+//
+// Span model: a span is the lifetime of one protocol-level activity — an MPI
+// request from post to completion, a rendezvous handshake from RTS to CTS, a
+// NIC occupied from submission to egress, a wait or compute block. begin()
+// allocates a process-global SpanId which upper layers thread down the stack
+// (MpidRequest::span -> nmad::Request::span -> Entry::span) so every record a
+// message touches can name the request that caused it. Exporters:
+//   * obs/export_chrome.hpp — Chrome trace-event JSON (open in Perfetto)
+//   * obs/export_csv.hpp    — metrics + raw-event CSV
+//   * sim/trace.hpp         — the legacy Paje-flavoured text view (shim)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace nmx::obs {
+
+/// Record categories. The first block is the legacy sim::TraceCat set (names
+/// and Paje dump strings preserved); the second block arrived with the span
+/// layer. sim::TraceCat aliases this enum.
+enum class Cat : std::uint8_t {
+  MpiSend,      ///< MPI-level send posted
+  MpiRecv,      ///< MPI-level receive posted
+  MpiWait,      ///< blocking wait (span)
+  MpiColl,      ///< collective operation
+  NmadTx,       ///< NIC occupied by one wire message (span; arg = local rail)
+  NmadRx,       ///< NewMadeleine wire message handled
+  NmadRdv,      ///< rendezvous handshake, sender side RTS->CTS (span)
+  ShmCell,      ///< Nemesis cell enqueued
+  PiomanPass,   ///< PIOMan service pass
+  Compute,      ///< application compute block (span)
+  MsgSend,      ///< MPI send-request lifetime, post -> completion (span)
+  MsgRecv,      ///< MPI recv-request lifetime, post -> completion (span)
+  StratEnqueue, ///< protocol entry queued into the strategy
+  RdvRts,       ///< RTS arrived at the receiver
+  RdvCts,       ///< CTS granted by the receiver
+  RdvData,      ///< rendezvous data chunk landed
+  Unexpected,   ///< message arrived with no posted request
+};
+
+const char* to_string(Cat cat);
+
+enum class Ph : std::uint8_t { Instant, Begin, End };
+
+/// 0 is never a valid span id.
+using SpanId = std::uint64_t;
+
+struct Record {
+  Time t = 0;
+  int rank = -1;  ///< -1: engine/background context
+  Cat cat = Cat::MpiSend;
+  Ph ph = Ph::Instant;
+  SpanId span = 0;           ///< nonzero for Begin/End
+  std::size_t bytes = 0;
+  std::int64_t arg = 0;      ///< category-specific (peer, rail, tag, ...)
+};
+
+class Recorder {
+ public:
+  void instant(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
+    records_.push_back(Record{t, rank, cat, Ph::Instant, 0, bytes, arg});
+  }
+
+  /// Open a span and return its id (always nonzero).
+  SpanId begin(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
+    const SpanId id = next_span_++;
+    records_.push_back(Record{t, rank, cat, Ph::Begin, id, bytes, arg});
+    ++begun_;
+    return id;
+  }
+
+  /// Close span `id`. No-op when `id` is 0 (span opened with no recorder
+  /// attached), so callers may invoke it unconditionally.
+  void end(Time t, int rank, Cat cat, SpanId id, std::size_t bytes = 0, std::int64_t arg = 0) {
+    if (id == 0) return;
+    records_.push_back(Record{t, rank, cat, Ph::End, id, bytes, arg});
+    ++ended_;
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+
+  std::uint64_t spans_begun() const { return begun_; }
+  std::uint64_t spans_ended() const { return ended_; }
+
+  /// Span ids with a Begin but no matching End (or vice versa) — empty when
+  /// every recorded span is properly paired.
+  std::vector<SpanId> unbalanced_spans() const;
+
+  void clear() {
+    records_.clear();
+    metrics_.clear();
+    begun_ = ended_ = 0;
+  }
+
+ private:
+  std::vector<Record> records_;
+  Registry metrics_;
+  SpanId next_span_ = 1;
+  std::uint64_t begun_ = 0;
+  std::uint64_t ended_ = 0;
+};
+
+}  // namespace nmx::obs

@@ -20,14 +20,22 @@ void Manager::notify() {
 }
 
 void Manager::service() {
-  if (sim::Tracer* tr = eng_.tracer()) {
-    tr->record(eng_.now(), -1, sim::TraceCat::PiomanPass);
-  }
   ++passes_;
   bool more = false;
+  int serviced = 0;
   for (auto& t : tasks_) {
     if (t->state() == LtaskState::Done) continue;
-    if (t->step()) more = true;
+    if (t->step()) {
+      more = true;
+      ++serviced;
+    }
+  }
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), cfg_.rank, obs::Cat::PiomanPass, 0, serviced);
+    rec->metrics().counter("pioman.passes").add(1);
+    rec->metrics()
+        .histogram("pioman.pass.serviced", {0, 1, 2, 4, 8})
+        .observe(static_cast<double>(serviced));
   }
   if (more) notify();
 }

@@ -28,6 +28,8 @@ namespace nmx::pioman {
 
 struct ManagerConfig {
   Time reaction_period = calib::kPiomanReactionPeriod;
+  /// Rank this manager serves, for trace attribution (-1 = engine-wide).
+  int rank = -1;
 };
 
 class Manager {

@@ -29,6 +29,10 @@
 #include "common/assert.hpp"
 #include "common/units.hpp"
 
+namespace nmx::obs {
+class Recorder;
+}
+
 namespace nmx::sim {
 
 class Engine;
@@ -111,8 +115,6 @@ class Actor {
   std::thread thread_;
 };
 
-class Tracer;
-
 /// The event-driven heart of the simulator.
 class Engine {
  public:
@@ -143,10 +145,12 @@ class Engine {
 
   std::size_t events_processed() const { return processed_; }
 
-  /// Attach an event tracer (sim/trace.hpp). Null disables tracing; the
-  /// pointer is not owned and must outlive the simulation.
-  void set_tracer(Tracer* t) { tracer_ = t; }
-  Tracer* tracer() { return tracer_; }
+  /// Attach an observability recorder (obs/recorder.hpp). Null disables all
+  /// instrumentation; the pointer is not owned and must outlive the
+  /// simulation. The legacy sim::Tracer wraps a Recorder — attach one via
+  /// `set_recorder(&tracer.recorder())`.
+  void set_recorder(obs::Recorder* r) { recorder_ = r; }
+  obs::Recorder* recorder() { return recorder_; }
   /// Actor currently holding the baton, or nullptr when an event callback
   /// (engine context) is running.
   Actor* current_actor() { return current_; }
@@ -173,7 +177,7 @@ class Engine {
   std::unordered_map<EventId, EventFn> events_;
   std::vector<std::unique_ptr<Actor>> actors_;
   Actor* current_ = nullptr;
-  Tracer* tracer_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace nmx::sim

@@ -1,41 +1,44 @@
 #include "sim/trace.hpp"
 
-#include <iomanip>
+#include <cstdio>
 #include <ostream>
 
 namespace nmx::sim {
 
-const char* to_string(TraceCat cat) {
-  switch (cat) {
-    case TraceCat::MpiSend: return "MPI_SEND";
-    case TraceCat::MpiRecv: return "MPI_RECV";
-    case TraceCat::MpiWait: return "MPI_WAIT";
-    case TraceCat::MpiColl: return "MPI_COLL";
-    case TraceCat::NmadTx: return "NMAD_TX";
-    case TraceCat::NmadRx: return "NMAD_RX";
-    case TraceCat::NmadRdv: return "NMAD_RDV";
-    case TraceCat::ShmCell: return "SHM_CELL";
-    case TraceCat::PiomanPass: return "PIOM_PASS";
-    case TraceCat::Compute: return "COMPUTE";
+const char* to_string(TraceCat cat) { return obs::to_string(cat); }
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> out;
+  out.reserve(rec_.records().size());
+  for (const auto& r : rec_.records()) {
+    if (r.ph == obs::Ph::End) continue;  // a span counts once, at its begin
+    out.push_back(Event{r.t, r.rank, r.cat, r.bytes, r.arg});
   }
-  return "?";
+  return out;
 }
 
 std::map<TraceCat, Tracer::CatSummary> Tracer::summary() const {
   std::map<TraceCat, CatSummary> out;
-  for (const Event& e : events_) {
-    CatSummary& s = out[e.cat];
+  for (const auto& r : rec_.records()) {
+    if (r.ph == obs::Ph::End) continue;
+    auto& s = out[r.cat];
     ++s.count;
-    s.bytes += e.bytes;
+    s.bytes += r.bytes;
   }
   return out;
 }
 
 void Tracer::dump(std::ostream& os) const {
   os << "# t_us rank category bytes aux\n";
-  for (const Event& e : events_) {
-    os << std::fixed << std::setprecision(3) << e.t * 1e6 << ' ' << e.rank << ' '
-       << to_string(e.cat) << ' ' << e.bytes << ' ' << e.a << '\n';
+  char buf[64];
+  for (const auto& r : rec_.records()) {
+    std::snprintf(buf, sizeof(buf), "%.3f", r.t * 1e6);
+    os << buf << ' ' << r.rank << ' ' << obs::to_string(r.cat) << ' ' << r.bytes << ' ' << r.arg;
+    if (r.ph == obs::Ph::Begin)
+      os << " B " << r.span;
+    else if (r.ph == obs::Ph::End)
+      os << " E " << r.span;
+    os << '\n';
   }
 }
 

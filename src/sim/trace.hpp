@@ -1,9 +1,9 @@
-// Event tracing — the simulator's stand-in for the PM2 suite's FxT trace
-// machinery. When a Tracer is attached to the Engine, instrumented layers
-// (MPI calls, NewMadeleine submissions/deliveries, PIOMan service passes,
-// Nemesis cells) record timestamped events. Dumps are a Paje-flavoured text
-// format readable by humans and greppable by scripts; summary() aggregates
-// per-category counts and bytes.
+// Legacy tracing facade — kept as a thin view over the obs::Recorder store
+// (src/obs/). Instrumented layers now write typed instant/span records and
+// metrics through Engine::recorder(); this class preserves the original
+// Tracer surface (record / events / summary / Paje-flavoured dump) on top of
+// that store so existing tests and tools keep working, and exposes the
+// Recorder for the new exporters (Chrome trace JSON, metrics CSV).
 #pragma once
 
 #include <cstddef>
@@ -14,21 +14,13 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/recorder.hpp"
 
 namespace nmx::sim {
 
-enum class TraceCat : std::uint8_t {
-  MpiSend,      ///< MPI-level send posted
-  MpiRecv,      ///< MPI-level receive posted
-  MpiWait,      ///< blocking wait entered
-  MpiColl,      ///< collective operation
-  NmadTx,       ///< NewMadeleine wire packet submitted to a NIC
-  NmadRx,       ///< NewMadeleine wire packet handled
-  NmadRdv,      ///< internal rendezvous started
-  ShmCell,      ///< Nemesis cell enqueued
-  PiomanPass,   ///< PIOMan service pass
-  Compute,      ///< application compute block
-};
+/// Legacy name for the record category set (the original ten values are the
+/// first ten enumerators; the span layer added the rest).
+using TraceCat = obs::Cat;
 
 const char* to_string(TraceCat cat);
 
@@ -48,22 +40,32 @@ class Tracer {
   };
 
   void record(Time t, int rank, TraceCat cat, std::size_t bytes = 0, std::int64_t a = 0) {
-    events_.push_back(Event{t, rank, cat, bytes, a});
+    rec_.instant(t, rank, cat, bytes, a);
   }
 
-  const std::vector<Event>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// The legacy one-entry-per-event view: instants plus span *begins* (a
+  /// span counts once, at its opening edge). Materialized on each call.
+  std::vector<Event> events() const;
 
-  /// Per-category totals.
+  /// Total records in the underlying store (span ends included).
+  std::size_t size() const { return rec_.size(); }
+  void clear() { rec_.clear(); }
+
+  /// Per-category totals over events() — span End records are not counted,
+  /// so totals for the original categories match the pre-span tracer.
   std::map<TraceCat, CatSummary> summary() const;
 
-  /// Paje-flavoured text dump: one line per event,
-  /// `t_us  rank  CATEGORY  bytes  aux`.
+  /// Paje-flavoured text dump: one line per record,
+  /// `t_us  rank  CATEGORY  bytes  aux [phase span]`
+  /// (the phase/span columns appear only on span begin/end lines).
   void dump(std::ostream& os) const;
 
+  /// The underlying store — metrics registry and exporter input.
+  obs::Recorder& recorder() { return rec_; }
+  const obs::Recorder& recorder() const { return rec_; }
+
  private:
-  std::vector<Event> events_;
+  obs::Recorder rec_;
 };
 
 }  // namespace nmx::sim

@@ -1,0 +1,317 @@
+// Tests for the nmx::obs observability layer: metrics registry semantics,
+// span begin/end pairing in the Recorder, end-to-end span balance on a traced
+// cluster, the Chrome trace-event / CSV exporters, and equivalence between
+// the legacy sim::Tracer view and the Recorder stream backing it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "sim/trace.hpp"
+
+namespace nmx {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// The traced workload every end-to-end test below runs: one network
+/// rendezvous, one shared-memory eager message, compute overlap, a barrier.
+mpi::Cluster& traced_cluster() {
+  static mpi::Cluster* cluster = [] {
+    mpi::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.procs = 4;
+    cfg.stack = mpi::StackKind::Mpich2Nmad;
+    cfg.pioman = true;
+    cfg.trace = true;
+    auto* c = new mpi::Cluster(cfg);
+    c->run([](mpi::Comm& comm) {
+      std::vector<std::byte> big(256 * 1024), small(512);
+      if (comm.rank() == 0) {
+        mpi::Request r = comm.isend(big.data(), big.size(), 3, 1);  // rendezvous
+        comm.compute(20e-6);
+        comm.wait(r);
+        comm.send(small.data(), small.size(), 1, 2);  // shm eager
+      } else if (comm.rank() == 3) {
+        comm.recv(big.data(), big.size(), 0, 1);
+      } else if (comm.rank() == 1) {
+        comm.recv(small.data(), small.size(), 0, 2);
+      }
+      comm.barrier();
+    });
+    return c;
+  }();
+  return *cluster;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketEdgesUseLeSemantics) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 edges + overflow
+
+  h.observe(0.5);  // below first edge -> bucket 0
+  h.observe(1.0);  // exactly on an edge counts in that bucket ("le")
+  h.observe(1.5);  // -> bucket 1
+  h.observe(2.0);  // -> bucket 1
+  h.observe(5.0);  // -> bucket 2
+  h.observe(7.0);  // above the last edge -> overflow
+
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(Metrics, RegistryKeysByNameAndLabel) {
+  obs::Registry reg;
+  reg.counter("rail.bytes", "rail=0").add(100);
+  reg.counter("rail.bytes", "rail=1").add(7);
+  reg.counter("rail.bytes", "rail=0").add(1);  // same counter as the first
+  EXPECT_EQ(reg.find_counter("rail.bytes", "rail=0")->value(), 101u);
+  EXPECT_EQ(reg.find_counter("rail.bytes", "rail=1")->value(), 7u);
+  EXPECT_EQ(reg.find_counter("rail.bytes", "rail=2"), nullptr);
+
+  obs::Gauge& g = reg.gauge("depth");
+  g.set(3);
+  g.set(1);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("depth")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("depth")->max(), 3.0);  // high-water mark kept
+}
+
+TEST(Metrics, WriteCsvEmitsEveryKind) {
+  obs::Registry reg;
+  reg.counter("c.total").add(42);
+  reg.gauge("g.depth").set(2);
+  reg.histogram("h.lat", {1.0, 10.0}).observe(3.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,label,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c.total,,value,42"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.depth,,last,2"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.depth,,max,2"), std::string::npos);
+  EXPECT_NE(csv.find("hist,h.lat,,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("hist,h.lat,,le_10,1"), std::string::npos);  // cumulative
+  EXPECT_NE(csv.find("hist,h.lat,,le_inf,1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder span pairing
+// ---------------------------------------------------------------------------
+
+TEST(Recorder, SpanBeginEndPairing) {
+  obs::Recorder rec;
+  const obs::SpanId a = rec.begin(1e-6, 0, obs::Cat::MpiWait);
+  const obs::SpanId b = rec.begin(2e-6, 1, obs::Cat::Compute);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+
+  rec.end(3e-6, 1, obs::Cat::Compute, b);
+  EXPECT_EQ(rec.spans_begun(), 2u);
+  EXPECT_EQ(rec.spans_ended(), 1u);
+  const auto unbalanced = rec.unbalanced_spans();
+  ASSERT_EQ(unbalanced.size(), 1u);
+  EXPECT_EQ(unbalanced[0], a);
+
+  rec.end(4e-6, 0, obs::Cat::MpiWait, a);
+  EXPECT_TRUE(rec.unbalanced_spans().empty());
+  EXPECT_EQ(rec.spans_begun(), rec.spans_ended());
+}
+
+TEST(Recorder, EndOfSpanZeroIsANoop) {
+  obs::Recorder rec;
+  rec.end(1e-6, 0, obs::Cat::MpiWait, 0);  // span opened with no recorder attached
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.spans_ended(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced cluster
+// ---------------------------------------------------------------------------
+
+TEST(ObsCluster, EverySpanOfACompletedRunIsBalanced) {
+  mpi::Cluster& cluster = traced_cluster();
+  ASSERT_NE(cluster.recorder(), nullptr);
+  const obs::Recorder& rec = *cluster.recorder();
+  EXPECT_GT(rec.spans_begun(), 0u);
+  EXPECT_EQ(rec.spans_begun(), rec.spans_ended());
+  EXPECT_TRUE(rec.unbalanced_spans().empty());
+}
+
+TEST(ObsCluster, MetricsCoverEveryLayer) {
+  mpi::Cluster& cluster = traced_cluster();
+  const obs::Registry& m = cluster.recorder()->metrics();
+
+  // MPI layer.
+  ASSERT_NE(m.find_counter("mpi.send.count"), nullptr);
+  EXPECT_GT(m.find_counter("mpi.send.count")->value(), 0u);
+  EXPECT_GT(m.find_counter("mpi.send.bytes")->value(), 0u);
+  ASSERT_NE(m.find_counter("mpi.coll.count"), nullptr);  // the barrier
+
+  // NewMadeleine: eager + rendezvous split, per-rail NIC counters.
+  ASSERT_NE(m.find_counter("nmad.rdv.count"), nullptr);
+  EXPECT_EQ(m.find_counter("nmad.rdv.count")->value(), 1u);  // one big send
+  EXPECT_EQ(m.find_counter("nmad.rdv.bytes")->value(), 256u * 1024u);
+  ASSERT_NE(m.find_counter("nmad.rail.tx_bytes", "rail=0"), nullptr);
+  EXPECT_GT(m.find_counter("nmad.rail.tx_bytes", "rail=0")->value(), 0u);
+  EXPECT_GT(m.find_counter("nmad.rail.tx_packets", "rail=0")->value(), 0u);
+  EXPECT_GT(m.find_counter("nmad.rail.busy_ns", "rail=0")->value(), 0u);
+
+  // Rendezvous handshake latency histogram saw the one handshake.
+  const obs::Histogram* h = m.find_histogram("nmad.rdv.handshake_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GT(h->sum(), 0.0);
+
+  // PIOMan.
+  ASSERT_NE(m.find_counter("pioman.passes"), nullptr);
+  EXPECT_GT(m.find_counter("pioman.passes")->value(), 0u);
+  ASSERT_NE(m.find_histogram("pioman.pass.serviced"), nullptr);
+  EXPECT_EQ(m.find_histogram("pioman.pass.serviced")->count(),
+            m.find_counter("pioman.passes")->value());
+
+  // Nemesis shared memory (the small message stayed on-node).
+  ASSERT_NE(m.find_counter("shm.cells"), nullptr);
+  EXPECT_GT(m.find_counter("shm.cells")->value(), 0u);
+}
+
+TEST(ObsCluster, RailByteCountersMatchTheTraceStream) {
+  mpi::Cluster& cluster = traced_cluster();
+  const obs::Recorder& rec = *cluster.recorder();
+
+  // Sum of the per-rail tx byte counters == bytes carried by NmadTx spans.
+  std::uint64_t from_counters = 0;
+  for (const auto& [key, c] : rec.metrics().counters()) {
+    if (key.first == "nmad.rail.tx_bytes") from_counters += c.value();
+  }
+  std::uint64_t from_records = 0;
+  for (const obs::Record& r : rec.records()) {
+    if (r.cat == obs::Cat::NmadTx && r.ph == obs::Ph::Begin) from_records += r.bytes;
+  }
+  EXPECT_GT(from_counters, 0u);
+  EXPECT_EQ(from_counters, from_records);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, ChromeTraceIsStructurallyValidJson) {
+  mpi::Cluster& cluster = traced_cluster();
+  std::ostringstream os;
+  obs::write_chrome_trace(*cluster.recorder(), os);
+  const std::string json = os.str();
+
+  // Structural sanity: balanced braces/brackets (no emitted string contains
+  // either character), one trailing newline, the trace-event envelope.
+  std::int64_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+
+  // Per-rank process tracks for Perfetto.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_NE(json.find("{\"name\":\"rank " + std::to_string(rank) + "\"}"), std::string::npos);
+  }
+
+  // Both slices (spans) and instants are present.
+  EXPECT_GT(count_occurrences(json, "\"ph\":\"X\""), 0u);
+  EXPECT_GT(count_occurrences(json, "\"ph\":\"i\""), 0u);
+}
+
+TEST(Exporters, ChromeEventCountMatchesTheEmittedEvents) {
+  mpi::Cluster& cluster = traced_cluster();
+  const obs::Recorder& rec = *cluster.recorder();
+  std::ostringstream os;
+  obs::write_chrome_trace(rec, os);
+  const std::string json = os.str();
+  // Every Instant emits "i" and every Begin emits either a complete slice
+  // ("X", when its End arrived) or an instant; "M" rows are metadata only.
+  const std::size_t emitted =
+      count_occurrences(json, "\"ph\":\"X\"") + count_occurrences(json, "\"ph\":\"i\"");
+  EXPECT_EQ(emitted, obs::chrome_event_count(rec));
+}
+
+TEST(Exporters, EventsCsvHasOneRowPerRecord) {
+  mpi::Cluster& cluster = traced_cluster();
+  const obs::Recorder& rec = *cluster.recorder();
+  std::ostringstream os;
+  obs::write_events_csv(rec, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("t_us,rank,category,phase,span,bytes,arg\n", 0), 0u);
+  EXPECT_EQ(count_occurrences(csv, "\n"), rec.size() + 1);  // header + one per record
+}
+
+TEST(Exporters, MetricsCsvCarriesTheHeadlineSeries) {
+  mpi::Cluster& cluster = traced_cluster();
+  std::ostringstream os;
+  obs::write_metrics_csv(*cluster.recorder(), os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("counter,nmad.rail.tx_bytes,rail=0,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,pioman.passes,,"), std::string::npos);
+  EXPECT_NE(csv.find("hist,nmad.rdv.handshake_us,,count,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,mpi.send.bytes,,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy sim::Tracer shim
+// ---------------------------------------------------------------------------
+
+TEST(TracerShim, SummaryMatchesTheRecorderStream) {
+  mpi::Cluster& cluster = traced_cluster();
+  const sim::Tracer& tr = *cluster.tracer();
+  const obs::Recorder& rec = tr.recorder();
+
+  // The shim's per-category summary counts each span once (at its Begin), so
+  // it must agree with a direct scan of the records that skips Ends.
+  auto summary = tr.summary();
+  std::map<obs::Cat, std::uint64_t> expect_count;
+  std::map<obs::Cat, std::uint64_t> expect_bytes;
+  for (const obs::Record& r : rec.records()) {
+    if (r.ph == obs::Ph::End) continue;
+    ++expect_count[r.cat];
+    expect_bytes[r.cat] += r.bytes;
+  }
+  for (const auto& [cat, s] : summary) {
+    EXPECT_EQ(s.count, expect_count[cat]) << obs::to_string(cat);
+    EXPECT_EQ(s.bytes, expect_bytes[cat]) << obs::to_string(cat);
+  }
+  EXPECT_EQ(summary.size(), expect_count.size());
+
+  // events() is the same stream minus the Ends, still time-ordered.
+  const auto ev = tr.events();
+  EXPECT_EQ(ev.size(), rec.size() - rec.spans_ended());
+}
+
+}  // namespace
+}  // namespace nmx
