@@ -57,6 +57,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         ch3::Ch3Process::Config c;
         c.nmad.strategy = cfg_.strategy;
         c.nmad.adaptive_split = cfg_.adaptive_split;
+        c.nmad.rdv_quantum = cfg_.rdv_quantum;
         c.nmad.rails.clear();
         for (int r = 0; r < t.num_rails(); ++r) c.nmad.rails.push_back(r);
         c.pioman = cfg_.pioman;

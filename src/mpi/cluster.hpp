@@ -43,6 +43,8 @@ struct ClusterConfig {
   bool pioman = false;
   bool bypass = true;          ///< false = legacy netmod path (Fig 2 ablation)
   bool adaptive_split = true;  ///< false = naive even multirail split
+  /// CostModel: rendezvous chunk cap so the split re-plans while draining.
+  std::size_t rdv_quantum = 2_MiB;
 
   // baseline knobs
   bool mvapich_rcache = true;

@@ -70,6 +70,12 @@ class Fabric {
   /// network-sampling probe would measure on an idle machine.
   Time uncontended_time(int rail, std::size_t bytes) const;
 
+  /// Absolute time (node, rail)'s egress channel is booked until (<= now when
+  /// the NIC is idle). This is the live occupancy signal a load-aware
+  /// strategy reads; it includes traffic from co-located processes sharing
+  /// the NIC, which the sender's own queue accounting cannot see.
+  Time egress_busy_until(int node, int rail) const;
+
   std::size_t packets_sent() const { return packets_sent_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "nmad/core.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -19,9 +20,22 @@ Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int m
   StrategyOptions opts;
   opts.max_aggregate = cfg_.max_aggregate;
   opts.min_split_chunk = cfg_.min_split_chunk;
+  opts.rdv_quantum = cfg_.rdv_quantum;
   opts.adaptive_split = cfg_.adaptive_split;
   strategy_ = make_strategy(cfg_.strategy, sampling_, opts);
   for (int fr : cfg_.rails) drivers_.push_back(Driver{fr, false});
+  // Live load feed for cost-model strategies: the engine clock plus each
+  // local rail's NIC egress occupancy, straight from the fabric (includes
+  // co-located processes sharing the node's NICs).
+  strategy_->set_load_probe([this] {
+    RailLoad l;
+    l.now = eng_.now();
+    l.busy_until.reserve(drivers_.size());
+    for (const Driver& d : drivers_) {
+      l.busy_until.push_back(fabric_.egress_busy_until(my_node_, d.fabric_rail));
+    }
+    return l;
+  });
   router.register_proc(my_proc_, [this](net::WirePacket&& pkt) { rx_wire(std::move(pkt)); });
 }
 
@@ -193,6 +207,26 @@ void Core::enqueue(Entry e) {
     rec->metrics().gauge("nmad.strategy.queue_depth").set(static_cast<double>(strat_depth_));
   }
   strategy_->enqueue(std::move(e));
+  sample_sched();
+}
+
+void Core::sample_sched() {
+  obs::Recorder* rec = eng_.recorder();
+  if (rec == nullptr) return;
+  const Time now = eng_.now();
+  rec->sample(now, my_proc_, "nmad.strategy.queue_depth", static_cast<double>(strat_depth_));
+  for (std::size_t r = 0; r < drivers_.size(); ++r) {
+    const std::string rail_label = "rail=" + std::to_string(r);
+    const auto backlog = static_cast<double>(strategy_->backlog_bytes(static_cast<int>(r)));
+    rec->metrics().gauge("nmad.sched.backlog_bytes", rail_label).set(backlog);
+    rec->metrics()
+        .gauge("nmad.sched.steals", rail_label)
+        .set(static_cast<double>(strategy_->steals(static_cast<int>(r))));
+    rec->sample(now, my_proc_, "nmad.sched.backlog_bytes." + rail_label, backlog);
+  }
+  rec->metrics()
+      .gauge("nmad.sched.rdv_backlog_bytes")
+      .set(static_cast<double>(strategy_->rdv_backlog_bytes()));
 }
 
 void Core::kick() {
@@ -233,11 +267,16 @@ void Core::submit(int local_rail, WireMsg wm) {
 
   std::vector<Note> notes;
   for (const Entry& e : wm.entries) {
-    if (e.sreq != nullptr) notes.push_back(Note{e.sreq, e.kind});
+    if (e.sreq != nullptr) notes.push_back(Note{e.sreq, e.kind, e.bytes.size()});
   }
 
   const int dst = wm.dst_proc;
   const std::size_t bytes = wm.wire_bytes();
+  // Cost-model prediction of this packet's egress completion: software
+  // pre-cost, then queueing behind whatever the NIC is already booked for,
+  // then the sampled transfer model. Compared against reality at on_egress.
+  d.tx_pred = std::max(eng_.now() + pre, fabric_.egress_busy_until(my_node_, d.fabric_rail)) +
+              sampling_.predict(local_rail, bytes);
   strat_depth_ -= std::min(strat_depth_, wm.entries.size());
   if (obs::Recorder* rec = eng_.recorder()) {
     d.tx_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadTx, bytes, local_rail);
@@ -271,19 +310,27 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
     rec->metrics()
         .counter("nmad.rail.busy_ns", "rail=" + std::to_string(local_rail))
         .add(static_cast<std::uint64_t>((eng_.now() - d.tx_begin) * 1e9));
+    // Cost-model accuracy: |predicted - actual| egress completion. The model
+    // omits the wire-latency share of the sampled alpha, so a small
+    // systematic offset is expected; what matters is that it stays bounded.
+    rec->metrics()
+        .histogram("nmad.sched.pred_error_us", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500})
+        .observe(std::abs(eng_.now() - d.tx_pred) * 1e6);
     d.tx_span = 0;
   }
   for (const Note& n : notes) {
     if (n.kind == Entry::Kind::Eager) {
       complete(*n.sreq);
     } else if (n.kind == Entry::Kind::RdvChunk) {
-      NMX_ASSERT(n.sreq->chunks_outstanding > 0);
-      if (--n.sreq->chunks_outstanding == 0) {
+      NMX_ASSERT(n.sreq->bytes_outstanding >= n.bytes);
+      n.sreq->bytes_outstanding -= n.bytes;
+      if (n.sreq->bytes_outstanding == 0) {
         rdv_out_.erase(n.sreq->rdv_id);
         complete(*n.sreq);
       }
     }
   }
+  sample_sched();
   if (strategy_->pending()) kick();
 }
 
@@ -424,7 +471,7 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
   NMX_ASSERT_MSG(total <= req->len, "rendezvous message overflows receive buffer");
   req->received = total;  // final size; arrival tracked via rdv_in bytes
   rdv_in_.emplace(std::make_pair(src, rdv_id), RdvIn{req});
-  req->chunks_outstanding = total;  // repurposed as bytes-still-expected
+  req->bytes_outstanding = total;  // bytes not yet landed
 
   // Grant: register the receive buffer (on-the-fly, uncached) and send CTS.
   Time reg = 0;
@@ -462,15 +509,28 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
         .observe((eng_.now() - req->rdv_rts_t) * 1e6);
   }
 
+  req->bytes_outstanding = req->len;
+
+  // Cost-model strategies carve the payload into chunks themselves, re-solving
+  // the split per chunk as rails drain; hand them the whole payload unplanned.
+  if (strategy_->plans_rdv_chunks()) {
+    Entry e;
+    e.kind = Entry::Kind::RdvChunk;
+    e.dst_proc = req->peer;
+    e.rdv_id = rdv_id;
+    e.offset = 0;
+    e.rail = -1;  // unplanned
+    e.bytes.assign(req->sbuf, req->sbuf + req->len);
+    e.sreq = req;
+    e.span = req->span;
+    enqueue(std::move(e));
+    kick();
+    return;
+  }
+
   // Plan the data chunks across rails (adaptive split for SplitBalance).
   const std::vector<std::size_t> shares = strategy_->plan_rdv(req->len);
   std::size_t offset = 0;
-  std::size_t chunks = 0;
-  for (std::size_t share : shares) {
-    if (share > 0) ++chunks;
-  }
-  NMX_ASSERT(chunks > 0);
-  req->chunks_outstanding = chunks;
   for (std::size_t r = 0; r < shares.size(); ++r) {
     if (shares[r] == 0) continue;
     Entry e;
@@ -499,9 +559,9 @@ void Core::handle_rdv_data(int src, Entry& e) {
   }
   NMX_ASSERT(e.offset + e.bytes.size() <= req->len);
   if (!e.bytes.empty()) std::memcpy(req->rbuf + e.offset, e.bytes.data(), e.bytes.size());
-  NMX_ASSERT(req->chunks_outstanding >= e.bytes.size());
-  req->chunks_outstanding -= e.bytes.size();
-  if (req->chunks_outstanding == 0) {
+  NMX_ASSERT(req->bytes_outstanding >= e.bytes.size());
+  req->bytes_outstanding -= e.bytes.size();
+  if (req->bytes_outstanding == 0) {
     rdv_in_.erase(it);
     complete(*req);
   }

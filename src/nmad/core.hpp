@@ -148,17 +148,22 @@ class Core {
     bool busy = false;
     std::uint64_t tx_span = 0;  ///< open NicTx span (one per rail: busy-gated)
     Time tx_begin = 0;          ///< submission time of the in-flight packet
+    Time tx_pred = 0;           ///< cost-model predicted egress completion
   };
 
   struct Note {  // sender-side egress bookkeeping
     Request* sreq;
     Entry::Kind kind;
+    std::size_t bytes;  ///< payload bytes (rendezvous byte accounting)
   };
 
   Request* new_request(Request r);
   GateState& gate(int peer);
   /// Strategy hand-off, instrumented: StratEnqueue record + queue-depth gauge.
   void enqueue(Entry e);
+  /// Scheduler observability: per-rail backlog/steal gauges plus counter-track
+  /// samples (Perfetto "C" events) of the queue depths over time.
+  void sample_sched();
   void kick();
   void try_flush();
   void submit(int local_rail, WireMsg wm);

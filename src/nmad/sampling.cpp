@@ -47,14 +47,47 @@ Time Sampling::predict(int r, std::size_t len) const {
   return p.alpha + static_cast<double>(len) / p.beta;
 }
 
+Time Sampling::completion(int r, std::size_t len, Time ready) const {
+  return ready + predict(r, len);
+}
+
 std::vector<std::size_t> Sampling::split(std::size_t len, std::size_t min_chunk) const {
+  static const std::vector<Time> kNoReady;
+  return solve_split(len, min_chunk, kNoReady, fastest_);
+}
+
+std::vector<std::size_t> Sampling::split_with_ready(std::size_t len, std::size_t min_chunk,
+                                                    const std::vector<Time>& ready) const {
+  NMX_ASSERT(ready.size() == rails_.size());
+  // Unsplittable payloads chase the earliest predicted completion, not the
+  // lowest idle latency — that is the whole point of being load-aware.
+  int best = 0;
+  for (std::size_t i = 1; i < rails_.size(); ++i) {
+    if (completion(static_cast<int>(i), len, ready[i]) <
+        completion(best, len, ready[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return solve_split(len, min_chunk, ready, best);
+}
+
+std::vector<std::size_t> Sampling::solve_split(std::size_t len, std::size_t min_chunk,
+                                               const std::vector<Time>& ready,
+                                               int small_rail) const {
+  // A rail that cannot start before ready_r behaves like a rail with that
+  // much extra latency; fold it in and solve the classic equal-finish split.
+  auto lat = [&](std::size_t i) {
+    return rails_[i].alpha + (ready.empty() ? 0.0 : ready[i]);
+  };
   std::vector<std::size_t> shares(rails_.size(), 0);
   if (rails_.size() == 1 || len <= min_chunk) {
-    shares[static_cast<std::size_t>(fastest_)] = len;
+    shares[static_cast<std::size_t>(small_rail)] = len;
     return shares;
   }
 
-  // Candidate rails, pruned until every share clears min_chunk.
+  // Candidate rails, pruned until every share clears min_chunk (a negative
+  // share — the rail could not even start before the others finish — is
+  // always below min_chunk, so contended rails prune themselves).
   std::vector<std::size_t> cand(rails_.size());
   std::iota(cand.begin(), cand.end(), 0);
   std::vector<double> share(rails_.size(), 0.0);
@@ -62,7 +95,7 @@ std::vector<std::size_t> Sampling::split(std::size_t len, std::size_t min_chunk)
     double beta_sum = 0.0, alpha_beta_sum = 0.0;
     for (std::size_t i : cand) {
       beta_sum += rails_[i].beta;
-      alpha_beta_sum += rails_[i].alpha * rails_[i].beta;
+      alpha_beta_sum += lat(i) * rails_[i].beta;
     }
     // Equal-finish-time allocation.
     const double T = (static_cast<double>(len) + alpha_beta_sum) / beta_sum;
@@ -70,7 +103,7 @@ std::vector<std::size_t> Sampling::split(std::size_t len, std::size_t min_chunk)
     std::size_t worst = cand.front();
     double worst_share = 1e300;
     for (std::size_t i : cand) {
-      share[i] = rails_[i].beta * (T - rails_[i].alpha);
+      share[i] = rails_[i].beta * (T - lat(i));
       if (share[i] < worst_share) {
         worst_share = share[i];
         worst = i;
@@ -86,21 +119,21 @@ std::vector<std::size_t> Sampling::split(std::size_t len, std::size_t min_chunk)
     }
   }
 
-  // Round to integral bytes, handing the remainder to the fastest candidate.
+  // Round to integral bytes, handing the remainder to the first used rail.
   std::size_t assigned = 0;
   for (std::size_t i = 0; i < rails_.size(); ++i) {
-    shares[i] = static_cast<std::size_t>(share[i]);
+    shares[i] = share[i] > 0.0 ? static_cast<std::size_t>(share[i]) : 0;
     assigned += shares[i];
   }
   NMX_ASSERT(assigned <= len);
   std::size_t remainder = len - assigned;
   for (std::size_t i = 0; i < rails_.size() && remainder > 0; ++i) {
-    if (shares[i] > 0 || rails_.size() == 1) {
+    if (shares[i] > 0) {
       shares[i] += remainder;
       remainder = 0;
     }
   }
-  if (remainder > 0) shares[static_cast<std::size_t>(fastest_)] += remainder;
+  if (remainder > 0) shares[static_cast<std::size_t>(small_rail)] += remainder;
   return shares;
 }
 

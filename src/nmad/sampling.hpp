@@ -11,6 +11,12 @@
 // Rails whose share would be below `min_chunk` are dropped and the remainder
 // re-balanced (sending a sliver on a slow rail costs more latency than it
 // saves bandwidth).
+//
+// The load-aware generalization (split_with_ready) lets each rail start at a
+// different time — its current backlog — and solves for equal *finish* times
+// instead:  share_r = beta_r * (T - ready_r - alpha_r). A rail busy with
+// other traffic behaves exactly like a rail with that much extra latency, so
+// the same candidate-pruning solver covers both.
 #pragma once
 
 #include <cstddef>
@@ -45,9 +51,20 @@ class Sampling {
   /// Predicted uncontended one-way time for `len` bytes on local rail `r`.
   Time predict(int r, std::size_t len) const;
 
+  /// Predicted completion time for `len` bytes on local rail `r` when the
+  /// rail cannot start before `ready` (backlog ahead of this transfer).
+  Time completion(int r, std::size_t len, Time ready) const;
+
   /// Byte share per local rail for a rendezvous of `len` bytes. Shares sum
   /// to exactly `len`; rails not worth using get 0.
   std::vector<std::size_t> split(std::size_t len, std::size_t min_chunk) const;
+
+  /// Load-aware split: rail `r` cannot start before `ready[r]` (same time
+  /// origin for every rail; zeros reproduce the idle-fabric split except
+  /// that small payloads go to the earliest-*completing* rail rather than
+  /// the lowest-latency one). Shares sum to exactly `len`.
+  std::vector<std::size_t> split_with_ready(std::size_t len, std::size_t min_chunk,
+                                            const std::vector<Time>& ready) const;
 
   /// Fixed even split over all rails — the naive policy the adaptive ratio
   /// is compared against in bench/abl_splitratio.
@@ -55,6 +72,8 @@ class Sampling {
 
  private:
   void find_fastest();
+  std::vector<std::size_t> solve_split(std::size_t len, std::size_t min_chunk,
+                                       const std::vector<Time>& ready, int small_rail) const;
   std::vector<RailPerf> rails_;
   int fastest_ = 0;
 };

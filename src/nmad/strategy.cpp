@@ -1,5 +1,6 @@
 #include "nmad/strategy.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -9,14 +10,18 @@ namespace nmx::nmad {
 namespace {
 
 /// Common machinery: per-(rail, destination) FIFOs with round-robin
-/// destination selection per rail.
+/// destination selection per rail, and per-rail queued-byte accounting.
 class QueuedStrategy : public Strategy {
  public:
   QueuedStrategy(const Sampling& sampling, StrategyOptions opts, bool aggregate)
-      : sampling_(sampling), opts_(opts), aggregate_(aggregate) {}
+      : sampling_(sampling),
+        opts_(opts),
+        aggregate_(aggregate),
+        backlog_(sampling.num_rails(), 0) {}
 
   void enqueue(Entry e) override {
-    if (e.kind != Entry::Kind::RdvChunk) e.rail = sampling_.fastest();
+    if (e.kind != Entry::Kind::RdvChunk) e.rail = pick_rail(e);
+    backlog_[static_cast<std::size_t>(e.rail)] += e.wire_bytes();
     auto& q = queues_[{e.rail, e.dst_proc}];
     q.push_back(std::move(e));
     ++pending_;
@@ -45,21 +50,26 @@ class QueuedStrategy : public Strategy {
     if (pick == queues_.end()) return std::nullopt;
 
     std::deque<Entry>& q = pick->second;
+    auto& backlog = backlog_[static_cast<std::size_t>(rail)];
     WireMsg wm;
     wm.src_proc = src_proc;
     wm.dst_proc = pick->first.second;
-    // Rendezvous data always travels alone (zero-copy DMA of user memory).
-    if (q.front().kind == Entry::Kind::RdvChunk) {
+    // Debit the backlog before moving the entry out — wire_bytes() counts the
+    // payload, which the move empties.
+    auto take_front = [&] {
+      backlog -= std::min(backlog, q.front().wire_bytes());
       wm.entries.push_back(std::move(q.front()));
       q.pop_front();
       --pending_;
+    };
+    // Rendezvous data always travels alone (zero-copy DMA of user memory).
+    if (q.front().kind == Entry::Kind::RdvChunk) {
+      take_front();
     } else {
       std::size_t packed_bytes = 0;
       do {
         packed_bytes += q.front().bytes.size();
-        wm.entries.push_back(std::move(q.front()));
-        q.pop_front();
-        --pending_;
+        take_front();
       } while (aggregate_ && !q.empty() && q.front().kind != Entry::Kind::RdvChunk &&
                packed_bytes + q.front().bytes.size() <= opts_.max_aggregate);
     }
@@ -71,7 +81,15 @@ class QueuedStrategy : public Strategy {
 
   bool pending() const override { return pending_ > 0; }
 
+  std::size_t backlog_bytes(int rail) const override {
+    return backlog_.at(static_cast<std::size_t>(rail));
+  }
+
  protected:
+  /// Rail a non-rendezvous entry is queued on. The paper's default: "choose
+  /// the fastest network for small messages" (§4.1.1).
+  virtual int pick_rail(const Entry& /*e*/) { return sampling_.fastest(); }
+
   const Sampling& sampling_;
   StrategyOptions opts_;
 
@@ -81,6 +99,7 @@ class QueuedStrategy : public Strategy {
   std::map<std::pair<int, int>, std::deque<Entry>> queues_;
   std::map<int, int> rr_cursor_;
   std::size_t pending_ = 0;
+  std::vector<std::size_t> backlog_;  ///< queued wire bytes per rail
 };
 
 class StratDefault final : public QueuedStrategy {
@@ -113,6 +132,133 @@ class StratSplitBalance final : public QueuedStrategy {
   }
 };
 
+/// Load-aware cost-model scheduler. Small entries are routed to the rail
+/// with the earliest *predicted completion* (live NIC occupancy + queued
+/// backlog + sampled alpha + len/beta), not blindly to the fastest rail.
+/// Rendezvous payloads are held as jobs and carved into chunks on demand:
+/// every time a rail asks for work the remaining bytes are re-split with the
+/// current per-rail ready times, so rails that pick up contention mid-flight
+/// shed their share to the others.
+class StratCostModel final : public QueuedStrategy {
+ public:
+  StratCostModel(const Sampling& s, StrategyOptions o)
+      : QueuedStrategy(s, o, /*aggregate=*/true), steals_(s.num_rails(), 0) {}
+
+  bool plans_rdv_chunks() const override { return true; }
+
+  void enqueue(Entry e) override {
+    if (e.kind == Entry::Kind::RdvChunk && e.rail < 0) {
+      RdvJob job;
+      job.dst = e.dst_proc;
+      job.rdv_id = e.rdv_id;
+      job.base = e.offset;
+      job.span = e.span;
+      job.sreq = e.sreq;
+      job.bytes = std::move(e.bytes);
+      rdv_backlog_ += job.bytes.size();
+      jobs_.push_back(std::move(job));
+      return;
+    }
+    QueuedStrategy::enqueue(std::move(e));
+  }
+
+  std::optional<WireMsg> next(int rail, int src_proc) override {
+    // Latency-sensitive queued traffic first, then rendezvous bulk.
+    if (auto wm = QueuedStrategy::next(rail, src_proc)) return wm;
+    return next_rdv_chunk(rail, src_proc);
+  }
+
+  bool pending() const override { return QueuedStrategy::pending() || !jobs_.empty(); }
+
+  std::vector<std::size_t> plan_rdv(std::size_t len) const override {
+    return sampling_.split_with_ready(len, opts_.min_split_chunk, rail_ready());
+  }
+
+  std::size_t rdv_backlog_bytes() const override { return rdv_backlog_; }
+  std::uint64_t steals(int rail) const override {
+    return steals_.at(static_cast<std::size_t>(rail));
+  }
+
+ protected:
+  int pick_rail(const Entry& e) override {
+    const std::vector<Time> ready = rail_ready();
+    int best = 0;
+    Time best_t = sampling_.completion(0, e.wire_bytes(), ready[0]);
+    for (std::size_t r = 1; r < ready.size(); ++r) {
+      const Time t = sampling_.completion(static_cast<int>(r), e.wire_bytes(), ready[r]);
+      if (t < best_t) {
+        best_t = t;
+        best = static_cast<int>(r);
+      }
+    }
+    if (best != sampling_.fastest()) ++steals_[static_cast<std::size_t>(best)];
+    return best;
+  }
+
+ private:
+  struct RdvJob {
+    int dst = -1;
+    std::uint64_t rdv_id = 0;
+    std::size_t base = 0;      ///< offset of bytes[0] in the full message
+    std::size_t consumed = 0;  ///< bytes already carved into chunks
+    std::uint64_t span = 0;
+    Request* sreq = nullptr;
+    std::vector<std::byte> bytes;
+  };
+
+  /// Earliest start time per rail, relative to now: live NIC occupancy from
+  /// the probe plus the transfer time of wire bytes already queued here.
+  std::vector<Time> rail_ready() const {
+    const RailLoad l = load(sampling_.num_rails());
+    std::vector<Time> ready(sampling_.num_rails(), 0.0);
+    for (std::size_t r = 0; r < ready.size(); ++r) {
+      ready[r] = std::max(0.0, l.busy_until[r] - l.now) +
+                 static_cast<double>(backlog_bytes(static_cast<int>(r))) /
+                     sampling_.rails()[r].beta;
+    }
+    return ready;
+  }
+
+  std::optional<WireMsg> next_rdv_chunk(int rail, int src_proc) {
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      RdvJob& job = *it;
+      const std::size_t remaining = job.bytes.size() - job.consumed;
+      const std::vector<std::size_t> shares =
+          sampling_.split_with_ready(remaining, opts_.min_split_chunk, rail_ready());
+      std::size_t take = shares[static_cast<std::size_t>(rail)];
+      if (take == 0) continue;  // this rail is not worth using for this job now
+      if (opts_.rdv_quantum > 0) take = std::min(take, opts_.rdv_quantum);
+
+      Entry e;
+      e.kind = Entry::Kind::RdvChunk;
+      e.dst_proc = job.dst;
+      e.rdv_id = job.rdv_id;
+      e.offset = job.base + job.consumed;
+      e.rail = rail;
+      e.span = job.span;
+      e.sreq = job.sreq;
+      e.bytes.assign(job.bytes.begin() + static_cast<std::ptrdiff_t>(job.consumed),
+                     job.bytes.begin() + static_cast<std::ptrdiff_t>(job.consumed + take));
+      job.consumed += take;
+      rdv_backlog_ -= take;
+      if (job.consumed == job.bytes.size()) jobs_.erase(it);
+
+      WireMsg wm;
+      wm.src_proc = src_proc;
+      wm.dst_proc = e.dst_proc;
+      wm.entries.push_back(std::move(e));
+      ++packets_built_;
+      ++entries_sent_;
+      return wm;
+    }
+    return std::nullopt;
+  }
+
+  std::deque<RdvJob> jobs_;
+  std::size_t rdv_backlog_ = 0;
+  std::vector<std::uint64_t> steals_;
+};
+
 }  // namespace
 
 std::unique_ptr<Strategy> make_strategy(StrategyKind kind, const Sampling& sampling,
@@ -121,6 +267,7 @@ std::unique_ptr<Strategy> make_strategy(StrategyKind kind, const Sampling& sampl
     case StrategyKind::Default: return std::make_unique<StratDefault>(sampling, opts);
     case StrategyKind::Aggreg: return std::make_unique<StratAggreg>(sampling, opts);
     case StrategyKind::SplitBalance: return std::make_unique<StratSplitBalance>(sampling, opts);
+    case StrategyKind::CostModel: return std::make_unique<StratCostModel>(sampling, opts);
   }
   NMX_FAIL("unknown strategy kind");
 }

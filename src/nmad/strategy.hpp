@@ -9,10 +9,19 @@
 //                   multirail split ratio from sampling for rendezvous data
 //                   ("distribute the message chunks across the multiple
 //                   networks in case of large messages", §4.1.1).
+//  * CostModel    — SplitBalance extended with a per-rail completion-time
+//                   estimator: the sampled alpha/beta model plus the rail's
+//                   current backlog (queued entries here + live NIC occupancy
+//                   fed by the core through a LoadProbe). Small traffic goes
+//                   to the rail with the earliest predicted completion, and
+//                   rendezvous payloads are carved into chunks on demand so
+//                   the split is re-solved as rails drain.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -23,12 +32,25 @@
 
 namespace nmx::nmad {
 
+/// Live per-rail load snapshot a load-aware strategy reads before deciding:
+/// the engine's virtual "now" and, per local rail, the absolute time the NIC
+/// egress channel is booked until (<= now when idle). The core installs a
+/// probe backed by the engine and fabric; strategies never re-derive this
+/// from observability data.
+struct RailLoad {
+  Time now = 0;
+  std::vector<Time> busy_until;
+};
+using LoadProbe = std::function<RailLoad()>;
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
 
   /// Queue a protocol entry. The strategy assigns the rail for small
-  /// entries; RdvChunk entries arrive with their rail already planned.
+  /// entries; RdvChunk entries arrive with their rail already planned, or —
+  /// for strategies with plans_rdv_chunks() — with rail < 0 and the whole
+  /// payload, to be carved into chunks as rails become idle.
   virtual void enqueue(Entry e) = 0;
 
   /// Build the next wire message for idle local rail `rail`, or nullopt if
@@ -41,17 +63,51 @@ class Strategy {
   /// Byte share per local rail for a rendezvous payload of `len` bytes.
   virtual std::vector<std::size_t> plan_rdv(std::size_t len) const = 0;
 
+  /// Install the engine/fabric-backed load snapshot provider. Load-blind
+  /// strategies simply never call it.
+  void set_load_probe(LoadProbe probe) { probe_ = std::move(probe); }
+
+  /// True when the strategy carves rendezvous payloads into chunks itself;
+  /// the core then enqueues one unplanned RdvChunk instead of pre-splitting.
+  virtual bool plans_rdv_chunks() const { return false; }
+
+  // --- introspection (cost-model metrics read these; 0 when untracked) ----
+
+  /// Wire bytes queued for local rail `r` (excludes unassigned rendezvous
+  /// backlog — see rdv_backlog_bytes()).
+  virtual std::size_t backlog_bytes(int /*rail*/) const { return 0; }
+  /// Rendezvous bytes accepted but not yet assigned to any rail.
+  virtual std::size_t rdv_backlog_bytes() const { return 0; }
+  /// Entries routed to `rail` although it is not the sampled-fastest one,
+  /// because the cost model predicted an earlier completion there.
+  virtual std::uint64_t steals(int /*rail*/) const { return 0; }
+
   std::size_t packets_built() const { return packets_built_; }
   std::size_t entries_sent() const { return entries_sent_; }
 
  protected:
+  /// Snapshot from the installed probe, padded/clamped to `num_rails` so
+  /// strategies can index it unconditionally (no probe => all rails idle).
+  RailLoad load(std::size_t num_rails) const {
+    RailLoad l;
+    if (probe_) l = probe_();
+    l.busy_until.resize(num_rails, l.now);
+    return l;
+  }
+
   std::size_t packets_built_ = 0;
   std::size_t entries_sent_ = 0;
+
+ private:
+  LoadProbe probe_;
 };
 
 struct StrategyOptions {
   std::size_t max_aggregate = calib::kNmadMaxAggregate;
   std::size_t min_split_chunk = 16_KiB;
+  /// CostModel: cap on the rendezvous chunk emitted per wire message so the
+  /// split keeps re-planning while the transfer drains (0 = no cap).
+  std::size_t rdv_quantum = 2_MiB;
   /// Ablation switch: use the naive even split instead of the adaptive one.
   bool adaptive_split = true;
 };

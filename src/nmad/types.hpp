@@ -35,6 +35,9 @@ enum class StrategyKind {
   Default,       ///< FIFO, one packet per wire message, single rail
   Aggreg,        ///< aggregates small packets per destination (§2.2)
   SplitBalance,  ///< multirail: fast rail for small, adaptive split for large (§2.2, [4])
+  CostModel,     ///< load-aware: completion-time cost model picks rails using
+                 ///< live NIC occupancy + queued backlog, and re-plans the
+                 ///< rendezvous split chunk by chunk as rails drain
 };
 
 struct Request {
@@ -53,8 +56,11 @@ struct Request {
 
   // send side
   const std::byte* sbuf = nullptr;
-  std::size_t chunks_outstanding = 0;  ///< rendezvous chunks not yet on the wire
-  std::uint64_t rdv_id = 0;            ///< nonzero while in rendezvous
+  /// Rendezvous bytes still in flight: sender side counts bytes not yet
+  /// through NIC egress, receiver side bytes not yet landed. Byte-based so
+  /// strategies may carve the payload into any number of chunks.
+  std::size_t bytes_outstanding = 0;
+  std::uint64_t rdv_id = 0;  ///< nonzero while in rendezvous
 
   // observability (obs/recorder.hpp): spans threaded through the stack
   std::uint64_t span = 0;      ///< upper-layer message-lifecycle span id
@@ -72,6 +78,9 @@ struct Config {
   std::size_t max_aggregate = calib::kNmadMaxAggregate;
   /// Minimum rendezvous chunk worth putting on an extra rail.
   std::size_t min_split_chunk = 16_KiB;
+  /// CostModel: largest rendezvous chunk emitted per wire message, so the
+  /// split is re-planned as rails drain (0 = emit each rail's full share).
+  std::size_t rdv_quantum = 2_MiB;
   Time sw_send = calib::kNmadSwSend;
   Time sw_recv = calib::kNmadSwRecv;
   /// PIOMan integration: thread-safe request lists + driver locks cost ~2µs

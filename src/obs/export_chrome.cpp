@@ -64,6 +64,12 @@ std::string fmt_us(Time t) {
   return buf;
 }
 
+std::string fmt_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
 }  // namespace
 
 std::size_t chrome_event_count(const Recorder& rec) {
@@ -134,6 +140,7 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
     }
   };
   for (const Record& r : recs) note_pid(pid_of(r));
+  for (const CounterSample& s : rec.samples()) note_pid(s.rank >= 0 ? s.rank : kEnginePid);
   for (const SpanOut& s : spans) {
     note_pid(s.pid);
     if (tids.find({s.pid, s.lane}) == tids.end()) tids[{s.pid, s.lane}] = next_tid[s.pid]++;
@@ -185,6 +192,14 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
     if (r.ph == Ph::Instant) emit_instant(r);
   }
   for (std::size_t idx : lone_begins) emit_instant(recs[idx]);
+
+  // Counter tracks: Perfetto renders each (pid, name) as a line chart.
+  for (const CounterSample& s : rec.samples()) {
+    sep();
+    os << "{\"ph\":\"C\",\"name\":\"" << s.track << "\",\"ts\":" << fmt_us(s.t)
+       << ",\"pid\":" << (s.rank >= 0 ? s.rank : kEnginePid)
+       << ",\"tid\":0,\"args\":{\"value\":" << fmt_value(s.value) << "}}";
+  }
 
   os << "\n]}\n";
 }

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -63,6 +64,16 @@ struct Record {
   std::int64_t arg = 0;      ///< category-specific (peer, rail, tag, ...)
 };
 
+/// One point on a named counter track — the time series behind Perfetto's
+/// "C"-phase line charts (queue depths, per-rail backlog). Kept separate from
+/// the record stream: samples carry a value, not a span.
+struct CounterSample {
+  Time t = 0;
+  int rank = -1;
+  std::string track;
+  double value = 0;
+};
+
 class Recorder {
  public:
   void instant(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
@@ -85,7 +96,13 @@ class Recorder {
     ++ended_;
   }
 
+  /// Append a point to counter track `track` (created on first use).
+  void sample(Time t, int rank, std::string track, double value) {
+    samples_.push_back(CounterSample{t, rank, std::move(track), value});
+  }
+
   const std::vector<Record>& records() const { return records_; }
+  const std::vector<CounterSample>& samples() const { return samples_; }
   std::size_t size() const { return records_.size(); }
 
   Registry& metrics() { return metrics_; }
@@ -100,12 +117,14 @@ class Recorder {
 
   void clear() {
     records_.clear();
+    samples_.clear();
     metrics_.clear();
     begun_ = ended_ = 0;
   }
 
  private:
   std::vector<Record> records_;
+  std::vector<CounterSample> samples_;
   Registry metrics_;
   SpanId next_span_ = 1;
   std::uint64_t begun_ = 0;

@@ -67,6 +67,108 @@ INSTANTIATE_TEST_SUITE_P(Edges, ThresholdEdge, ::testing::ValuesIn(edge_cases())
                          });
 
 // ---------------------------------------------------------------------------
+// Sampling::split / split_with_ready boundaries: the solver must conserve
+// bytes and stay finite at every degenerate corner.
+// ---------------------------------------------------------------------------
+
+TEST(SplitBoundary, LenBelowMinChunkGoesEntirelyToTheFastestRail) {
+  nmad::Sampling s({nmad::RailPerf{0, 2e-6, 1e9}, nmad::RailPerf{1, 1e-6, 2e9}});
+  const auto shares = s.split(100, 16384);
+  EXPECT_EQ(shares[1], 100u);  // rail 1 has the lower alpha
+  EXPECT_EQ(shares[0], 0u);
+}
+
+TEST(SplitBoundary, ZeroLenYieldsZeroShares) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}, nmad::RailPerf{1, 2e-6, 1e9}});
+  for (std::size_t share : s.split(0, 16384)) EXPECT_EQ(share, 0u);
+}
+
+TEST(SplitBoundary, SingleRailTakesEverything) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}});
+  EXPECT_EQ(s.split(1 << 20, 16384)[0], std::size_t{1} << 20);
+  EXPECT_EQ(s.split(1, 16384)[0], 1u);
+}
+
+TEST(SplitBoundary, AllButOneShareDroppedRebalancesRemainder) {
+  // len just above min_chunk over three rails: no multi-rail allocation can
+  // give every rail min_chunk, so the solver must prune down to one rail and
+  // still hand out exactly len bytes.
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}, nmad::RailPerf{1, 1e-6, 1e9},
+                    nmad::RailPerf{2, 1e-6, 1e9}});
+  const std::size_t len = 16384 + 1;
+  const auto shares = s.split(len, 16384);
+  std::size_t sum = 0;
+  int used = 0;
+  for (std::size_t share : shares) {
+    sum += share;
+    if (share > 0) ++used;
+  }
+  EXPECT_EQ(sum, len);
+  EXPECT_EQ(used, 1);
+}
+
+TEST(SplitBoundary, ExtremeAlphaAsymmetryDropsTheSlowStarter) {
+  // Rail 1's alpha alone exceeds the whole transfer time on rail 0: its
+  // equal-finish share is negative, which must prune it (not underflow).
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}, nmad::RailPerf{1, 1.0, 1e9}});
+  const auto shares = s.split(1 << 20, 1024);
+  EXPECT_EQ(shares[0], std::size_t{1} << 20);
+  EXPECT_EQ(shares[1], 0u);
+}
+
+TEST(SplitBoundary, ExtremeBetaAsymmetryConservesBytes) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e12}, nmad::RailPerf{1, 1e-6, 1.0}});
+  const auto shares = s.split((1 << 20) + 7, 1024);
+  EXPECT_EQ(shares[0] + shares[1], (std::size_t{1} << 20) + 7);
+  EXPECT_EQ(shares[1], 0u);  // 1 B/s rail is never worth a chunk
+}
+
+TEST(SplitBoundary, ReadyTimesExcludeABusyRail) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}, nmad::RailPerf{1, 1e-6, 1e9}});
+  // Rail 0 cannot start for a full second — everything goes to rail 1.
+  const auto shares = s.split_with_ready(1 << 20, 16384, {1.0, 0.0});
+  EXPECT_EQ(shares[0], 0u);
+  EXPECT_EQ(shares[1], std::size_t{1} << 20);
+}
+
+TEST(SplitBoundary, ZeroReadyMatchesTheIdleSplit) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 2e9}, nmad::RailPerf{1, 2e-6, 1e9}});
+  for (std::size_t len : {std::size_t{1} << 18, std::size_t{3} << 20}) {
+    EXPECT_EQ(s.split_with_ready(len, 16384, {0.0, 0.0}), s.split(len, 16384)) << len;
+  }
+}
+
+TEST(SplitBoundary, UnsplittablePayloadChasesEarliestCompletionNotLowestAlpha) {
+  nmad::Sampling s({nmad::RailPerf{0, 1e-6, 1e9}, nmad::RailPerf{1, 2e-6, 1e9}});
+  // Too small to split; the fastest rail is busy, so the load-aware variant
+  // must pick rail 1 while the idle split keeps rail 0.
+  EXPECT_EQ(s.split(1000, 16384)[0], 1000u);
+  const auto shares = s.split_with_ready(1000, 16384, {5e-4, 0.0});
+  EXPECT_EQ(shares[0], 0u);
+  EXPECT_EQ(shares[1], 1000u);
+}
+
+TEST(SplitBoundary, RandomReadyTimesAlwaysConserveBytes) {
+  sim::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t nrails = 1 + rng.below(4);
+    std::vector<nmad::RailPerf> perfs;
+    for (std::size_t r = 0; r < nrails; ++r) {
+      perfs.push_back(nmad::RailPerf{static_cast<int>(r), rng.uniform(0.5e-6, 300e-6),
+                                     rng.uniform(1e6, 2e9)});
+    }
+    nmad::Sampling s(perfs);
+    std::vector<Time> ready;
+    for (std::size_t r = 0; r < nrails; ++r) ready.push_back(rng.uniform(0.0, 1e-2));
+    const std::size_t len = 1 + rng.below(1u << 24);
+    const auto shares = s.split_with_ready(len, 1 + rng.below(65536), ready);
+    std::size_t sum = 0;
+    for (std::size_t share : shares) sum += share;
+    ASSERT_EQ(sum, len) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Strategy fuzz: random entries in, drained over random rails — every entry
 // must come out exactly once, with per-(dst, tag) sequence order preserved
 // and the aggregation byte cap respected.

@@ -3,6 +3,7 @@
 // gated progress and the multirail data path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 
@@ -159,6 +160,87 @@ TEST(Strategy, RdvChunksTravelAlone) {
   EXPECT_EQ(wm2->entries[0].kind, Entry::Kind::RdvChunk);
 }
 
+TEST(Strategy, CostModelSteersSmallEntriesAwayFromBusyRail) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 2e-6, 1e9}});
+  auto strat = make_strategy(StrategyKind::CostModel, s, {});
+  // Idle fabric: the cost model agrees with the fastest-rail rule.
+  strat->enqueue(eager_entry(1, 7, 0, 100));
+  EXPECT_TRUE(strat->next(0, 0).has_value());
+  EXPECT_EQ(strat->steals(0), 0u);
+  EXPECT_EQ(strat->steals(1), 0u);
+  // Rail 0 booked for a millisecond: the entry's predicted completion is
+  // earlier on rail 1, so it is stolen from the fastest rail.
+  strat->set_load_probe([] {
+    RailLoad l;
+    l.now = 0;
+    l.busy_until = {1e-3, 0.0};
+    return l;
+  });
+  strat->enqueue(eager_entry(1, 7, 1, 100));
+  EXPECT_FALSE(strat->next(0, 0).has_value());
+  auto wm = strat->next(1, 0);
+  ASSERT_TRUE(wm.has_value());
+  EXPECT_EQ(wm->entries[0].seq, 1u);
+  EXPECT_EQ(strat->steals(1), 1u);
+}
+
+TEST(Strategy, CostModelQueuedBacklogCountsAsLoad) {
+  // No probe at all: the rail's own queued bytes must still steer traffic.
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 2e-6, 1e9}});
+  auto strat = make_strategy(StrategyKind::CostModel, s, {});
+  // Fill rail 0 with ~1 ms of queued bytes without draining it.
+  strat->enqueue(eager_entry(1, 7, 0, 1 << 20));
+  EXPECT_GT(strat->backlog_bytes(0), std::size_t{1} << 20);
+  strat->enqueue(eager_entry(1, 7, 1, 100));
+  EXPECT_GT(strat->backlog_bytes(1), 0u);  // steered to the empty rail
+  EXPECT_EQ(strat->steals(1), 1u);
+}
+
+TEST(Strategy, CostModelCarvesRendezvousIntoQuantumChunks) {
+  Sampling s({RailPerf{0, 1e-6, 1e9}, RailPerf{1, 1e-6, 1e9}});
+  StrategyOptions opts;
+  opts.min_split_chunk = 4_KiB;
+  opts.rdv_quantum = 64_KiB;
+  auto strat = make_strategy(StrategyKind::CostModel, s, opts);
+  ASSERT_TRUE(strat->plans_rdv_chunks());
+
+  const std::size_t len = 300_KiB;
+  Entry job;
+  job.kind = Entry::Kind::RdvChunk;
+  job.dst_proc = 1;
+  job.rdv_id = 1;
+  job.rail = -1;  // unplanned: the strategy carves it
+  job.bytes.resize(len);
+  strat->enqueue(std::move(job));
+  EXPECT_EQ(strat->rdv_backlog_bytes(), len);
+
+  std::vector<std::size_t> per_rail(2, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> cover;
+  int rail = 0;
+  while (strat->pending()) {
+    auto wm = strat->next(rail, 0);
+    rail = 1 - rail;  // alternate like two idle drivers would
+    if (!wm) continue;
+    ASSERT_EQ(wm->entries.size(), 1u);
+    const Entry& e = wm->entries[0];
+    ASSERT_EQ(e.kind, Entry::Kind::RdvChunk);
+    EXPECT_LE(e.bytes.size(), opts.rdv_quantum);  // quantum respected
+    EXPECT_GT(e.bytes.size(), 0u);
+    per_rail[static_cast<std::size_t>(e.rail)] += e.bytes.size();
+    cover.emplace_back(e.offset, e.bytes.size());
+  }
+  EXPECT_EQ(strat->rdv_backlog_bytes(), 0u);
+  EXPECT_GT(per_rail[0], 0u);  // equal rails: both carry data
+  EXPECT_GT(per_rail[1], 0u);
+  std::sort(cover.begin(), cover.end());
+  std::size_t cursor = 0;
+  for (const auto& [off, n] : cover) {
+    EXPECT_EQ(off, cursor);  // contiguous, no gap, no overlap
+    cursor = off + n;
+  }
+  EXPECT_EQ(cursor, len);
+}
+
 // ---------------------------------------------------------------------------
 // Core: two processes on two nodes exchanging through the fabric.
 // ---------------------------------------------------------------------------
@@ -248,6 +330,52 @@ TEST_F(CoreFixture, MultirailSplitsRendezvousAcrossBothRails) {
   EXPECT_EQ(dst, msg);
   // RTS + CTS + two data chunks (one per rail) = 4 packets.
   EXPECT_EQ(fabric.packets_sent() - before, 4u);
+}
+
+TEST_F(CoreFixture, CostModelRendezvousDeliversInQuantumChunks) {
+  make_cores(StrategyKind::CostModel, {0, 1});
+  const std::size_t big = 8_MiB;  // > 4 chunks at the default 2 MiB quantum
+  auto msg = pattern(big, 13);
+  std::vector<std::byte> dst(big);
+  Request* rr = b->irecv(0, 9, dst.data(), dst.size());
+  Request* sr = a->isend(1, 9, msg.data(), msg.size());
+  const std::size_t before = fabric.packets_sent();
+  eng.run();
+  EXPECT_TRUE(sr->completed);
+  EXPECT_TRUE(rr->completed);
+  EXPECT_EQ(dst, msg);
+  // RTS + CTS + at least ceil(8 MiB / 2 MiB) data chunks.
+  EXPECT_GE(fabric.packets_sent() - before, 6u);
+}
+
+TEST(CostModelCore, MatchesSplitBalanceOnIdleFabric) {
+  // Same transfer, both strategies, each on a fresh fabric: on an idle
+  // fabric the cost model's split degenerates to the sampled one, so
+  // completion times must be close.
+  auto timed = [](StrategyKind k) {
+    sim::Engine eng;
+    net::Topology topo = net::Topology::blocked(2, 2, {net::ib_profile(), net::mx_profile()});
+    net::Fabric fabric(eng, topo);
+    net::ProcRouter r0(fabric, 0), r1(fabric, 1);
+    Core::ExtendedConfig cfg;
+    cfg.strategy = k;
+    cfg.rails = {0, 1};
+    Core a(eng, fabric, r0, 0, cfg);
+    Core b(eng, fabric, r1, 1, cfg);
+    a.enter_progress();
+    b.enter_progress();
+    const std::size_t big = 4_MiB;
+    std::vector<std::byte> msg(big, std::byte{0x5a});
+    std::vector<std::byte> dst(big);
+    b.irecv(0, 9, dst.data(), dst.size());
+    a.isend(1, 9, msg.data(), msg.size());
+    eng.run();
+    EXPECT_EQ(dst, msg);
+    return eng.now();
+  };
+  const Time split = timed(StrategyKind::SplitBalance);
+  const Time cost = timed(StrategyKind::CostModel);
+  EXPECT_LT(cost, split * 1.05);  // no idle-fabric regression
 }
 
 TEST_F(CoreFixture, PerTagFifoMatchingOrder) {

@@ -262,6 +262,46 @@ TEST(Exporters, ChromeEventCountMatchesTheEmittedEvents) {
   EXPECT_EQ(emitted, obs::chrome_event_count(rec));
 }
 
+TEST(Exporters, CounterSamplesBecomeChromeCounterTracks) {
+  obs::Recorder rec;
+  rec.sample(1e-6, 0, "nmad.sched.backlog_bytes.rail=0", 4096.0);
+  rec.sample(2e-6, 0, "nmad.sched.backlog_bytes.rail=0", 0.0);
+  rec.sample(3e-6, -1, "engine.depth", 2.5);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(rec, os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 3u);
+  EXPECT_NE(json.find("{\"ph\":\"C\",\"name\":\"nmad.sched.backlog_bytes.rail=0\",\"ts\":1.000,"
+                      "\"pid\":0,\"tid\":0,\"args\":{\"value\":4096}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":2.5}"), std::string::npos);  // %.10g, not %d
+
+  // Rank-less samples land on the engine pid, which gets its metadata row
+  // even when no span/instant record ever touched it.
+  EXPECT_NE(json.find("\"name\":\"engine.depth\",\"ts\":3.000,\"pid\":1048576"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"sim engine\"}"), std::string::npos);
+
+  // Counter events are extra: chrome_event_count still covers spans and
+  // instants only (the ChromeEventCount test above depends on that).
+  EXPECT_EQ(obs::chrome_event_count(rec), 0u);
+}
+
+TEST(Exporters, SchedulerCounterTracksAppearInTheClusterTrace) {
+  mpi::Cluster& cluster = traced_cluster();
+  const obs::Recorder& rec = *cluster.recorder();
+  ASSERT_GT(rec.samples().size(), 0u);  // nmad core sampled its scheduler state
+
+  std::ostringstream os;
+  obs::write_chrome_trace(rec, os);
+  const std::string json = os.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), rec.samples().size());
+  EXPECT_NE(json.find("\"ph\":\"C\",\"name\":\"nmad.strategy.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"nmad.sched.backlog_bytes.rail=0\""), std::string::npos);
+}
+
 TEST(Exporters, EventsCsvHasOneRowPerRecord) {
   mpi::Cluster& cluster = traced_cluster();
   const obs::Recorder& rec = *cluster.recorder();

@@ -3,8 +3,14 @@
 // shows up as a test failure, not as a silently wrong bench table.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "harness/netpipe.hpp"
 #include "harness/overlap.hpp"
+#include "harness/sidecar.hpp"
 #include "mpi/cluster.hpp"
 
 namespace nmx {
@@ -153,6 +159,126 @@ TEST(Fig7Shape, OnlyPiomanProgressesRendezvousDuringCompute) {
   EXPECT_GT(mvapich, 1000.0);  // no handshake detection during compute
   EXPECT_LT(piom, plain - 300.0);  // most of the compute is hidden
   EXPECT_NEAR(piom, std::max(ref, 400.0), 0.15 * std::max(ref, 400.0));
+}
+
+// --- Metrics-backed assertions ---------------------------------------------
+// The fig benches leave `<stem>.metrics.csv` sidecars behind (see
+// harness/sidecar.hpp). These tests run the same traced sidecar workload and
+// assert the figures' claims from the exported metrics themselves, so a
+// regression in the *instrumentation* fails as loudly as one in the timings.
+
+std::optional<double> read_metric(const std::string& path, const std::string& kind,
+                                  const std::string& name, const std::string& label,
+                                  const std::string& field) {
+  std::ifstream in(path);
+  const std::string want = kind + ',' + name + ',' + label + ',' + field + ',';
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind(want, 0) == 0) return std::stod(line.substr(want.size()));
+  }
+  return std::nullopt;
+}
+
+TEST(SidecarMetrics, Fig5MultirailSidecarShowsTrafficOnBothRails) {
+  mpi::ClusterConfig cfg =
+      two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile(), net::mx_profile()});
+  cfg.strategy = nmad::StrategyKind::SplitBalance;
+  ASSERT_GT(harness::run_traced_sidecar(cfg, "shape_fig5_sidecar"), 0u);
+  const std::string csv = "shape_fig5_sidecar.metrics.csv";
+  const auto ib = read_metric(csv, "counter", "nmad.rail.tx_bytes", "rail=0", "value");
+  const auto mx = read_metric(csv, "counter", "nmad.rail.tx_bytes", "rail=1", "value");
+  ASSERT_TRUE(ib.has_value());
+  ASSERT_TRUE(mx.has_value()) << "multirail run moved no bytes over the second rail";
+  EXPECT_GT(*ib, 0.0);
+  EXPECT_GT(*mx, 0.0);
+  // The equal-finish split favours the higher-beta IB rail, but the MX rail
+  // must still carry a real share of the rendezvous payload.
+  EXPECT_GT(*ib, *mx);
+  EXPECT_GT(*mx, 16.0 * 1024.0);  // at least one min_split_chunk
+}
+
+TEST(SidecarMetrics, Fig6PiomanSidecarRecordsProgressPasses) {
+  mpi::ClusterConfig cfg = two_nodes(mpi::StackKind::Mpich2Nmad, {net::mx_profile()}, true);
+  ASSERT_GT(harness::run_traced_sidecar(cfg, "shape_fig6_sidecar"), 0u);
+  const auto passes =
+      read_metric("shape_fig6_sidecar.metrics.csv", "counter", "pioman.passes", "", "value");
+  ASSERT_TRUE(passes.has_value()) << "PIOMan ran but exported no pass counter";
+  EXPECT_GT(*passes, 0.0);
+}
+
+// --- Cost-model scheduler (ablation shape) ----------------------------------
+// Mirrors bench/abl_costmodel.cc: a rendezvous foreground stream plus a
+// co-located eager injection storm over shared NICs. The load-aware cost
+// model must not lose on an idle fabric and must win under cross-traffic.
+
+double aggregate_MBps(nmad::StrategyKind strat, bool contended) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 4;  // block mapping: ranks 0,1 on node 0 / ranks 2,3 on node 1
+  cfg.rails = {net::ib_profile(), net::mx_profile()};
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = strat;
+
+  constexpr std::size_t kFgMsg = 8u << 20;
+  constexpr int kFgIters = 4;
+  constexpr std::size_t kNoise = 32u << 10;
+  constexpr int kNoiseMsgs = 384;
+
+  mpi::Cluster cluster(cfg);
+  const double t0 = cluster.now();
+  cluster.run([&](mpi::Comm& c) {
+    switch (c.rank()) {
+      case 0: {
+        std::vector<std::byte> buf(kFgMsg);
+        for (int i = 0; i < kFgIters; ++i) c.send(buf.data(), buf.size(), 2, 1);
+        char ack = 0;
+        c.recv(&ack, 1, 2, 2);
+        break;
+      }
+      case 2: {
+        std::vector<std::byte> buf(kFgMsg);
+        for (int i = 0; i < kFgIters; ++i) c.recv(buf.data(), buf.size(), 0, 1);
+        const char ack = 1;
+        c.send(&ack, 1, 0, 2);
+        break;
+      }
+      case 1: {
+        if (!contended) break;
+        std::vector<std::byte> noise(kNoise);
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(kNoiseMsgs);
+        for (int i = 0; i < kNoiseMsgs; ++i) {
+          reqs.push_back(c.isend(noise.data(), noise.size(), 3, 5));
+        }
+        c.waitall(reqs);
+        break;
+      }
+      case 3: {
+        if (!contended) break;
+        std::vector<std::byte> noise(kNoise);
+        for (int i = 0; i < kNoiseMsgs; ++i) c.recv(noise.data(), noise.size(), 1, 5);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  const double elapsed = cluster.now() - t0;
+  const double bytes = static_cast<double>(kFgIters) * static_cast<double>(kFgMsg) +
+                       (contended ? static_cast<double>(kNoiseMsgs) * kNoise : 0.0);
+  return bytes / elapsed / (1024.0 * 1024.0);
+}
+
+TEST(CostModelShape, MatchesSplitBalanceOnIdleFabric) {
+  const double sb = aggregate_MBps(nmad::StrategyKind::SplitBalance, false);
+  const double cm = aggregate_MBps(nmad::StrategyKind::CostModel, false);
+  EXPECT_GT(cm, 0.98 * sb) << "cost model must degenerate to the sampled split when idle";
+}
+
+TEST(CostModelShape, BeatsSplitBalanceUnderEagerCrossTraffic) {
+  const double sb = aggregate_MBps(nmad::StrategyKind::SplitBalance, true);
+  const double cm = aggregate_MBps(nmad::StrategyKind::CostModel, true);
+  EXPECT_GE(cm, sb) << "load-aware scheduling lost aggregate bandwidth under contention";
+  EXPECT_GT(cm, 1.05 * sb) << "cross-traffic case no longer shows a load-aware win";
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+// Randomized property tests over every scheduling strategy: for seeded random
+// entry streams and rail profiles, a strategy must conserve bytes, emit every
+// entry exactly once, keep per-(rail, dst, tag) sequence order, plan
+// rendezvous shares that sum to the payload, and never stall while work is
+// pending.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "nmad/strategy.hpp"
+#include "sim/rng.hpp"
+
+namespace nmx {
+namespace {
+
+class StrategyProperty
+    : public ::testing::TestWithParam<std::tuple<nmad::StrategyKind, std::uint64_t>> {};
+
+TEST_P(StrategyProperty, ConservesEntriesBytesAndOrderWithoutStarving) {
+  const auto [kind, seed] = GetParam();
+  sim::Xoshiro256 rng(seed);
+
+  const std::size_t nrails = 1 + rng.below(3);
+  std::vector<nmad::RailPerf> perfs;
+  for (std::size_t r = 0; r < nrails; ++r) {
+    nmad::RailPerf p;
+    p.fabric_rail = static_cast<int>(r);
+    p.alpha = (0.5 + static_cast<double>(rng.below(50)) / 10.0) * 1e-6;
+    p.beta = 1e8 * static_cast<double>(1 + rng.below(20));
+    perfs.push_back(p);
+  }
+  nmad::Sampling sampling(perfs);
+
+  nmad::StrategyOptions opts;
+  opts.max_aggregate = 1024 + rng.below(4096);
+  opts.min_split_chunk = 1_KiB;
+  opts.rdv_quantum = 4_KiB;
+  auto strat = nmad::make_strategy(kind, sampling, opts);
+
+  // Deterministic load probe, stable within one drain sweep (refreshed
+  // between sweeps below) so load-aware strategies see changing but
+  // consistent per-rail occupancy.
+  double now = 0.0;
+  std::vector<Time> busy(nrails, 0.0);
+  strat->set_load_probe([&] {
+    nmad::RailLoad l;
+    l.now = now;
+    l.busy_until = busy;
+    return l;
+  });
+  auto shuffle_load = [&] {
+    now += 1e-5;
+    for (std::size_t r = 0; r < nrails; ++r) {
+      busy[r] = now + static_cast<double>(rng.below(200)) * 1e-6;
+    }
+  };
+  shuffle_load();
+
+  // Rendezvous plans always cover the payload exactly.
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t len = 1 + rng.below(1u << 22);
+    const std::vector<std::size_t> shares = strat->plan_rdv(len);
+    ASSERT_EQ(shares.size(), nrails);
+    std::size_t sum = 0;
+    for (std::size_t s : shares) sum += s;
+    EXPECT_EQ(sum, len) << "plan_rdv shares must sum to len=" << len;
+    shuffle_load();
+  }
+
+  // Inject a random eager stream...
+  constexpr int kEager = 200;
+  struct Key {
+    int dst;
+    nmad::Tag tag;
+    bool operator<(const Key& o) const { return std::tie(dst, tag) < std::tie(o.dst, o.tag); }
+  };
+  std::map<Key, std::uint32_t> next_seq;
+  std::size_t eager_bytes_in = 0;
+  for (int i = 0; i < kEager; ++i) {
+    nmad::Entry e;
+    e.kind = nmad::Entry::Kind::Eager;
+    e.dst_proc = static_cast<int>(rng.below(4));
+    e.tag = rng.below(3);
+    e.seq = next_seq[{e.dst_proc, e.tag}]++;
+    e.bytes.resize(1 + rng.below(2000));
+    eager_bytes_in += e.bytes.size();
+    strat->enqueue(std::move(e));
+  }
+
+  // ...plus rendezvous payloads with recognizable contents. Chunk-planning
+  // strategies get the whole payload unplanned (rail = -1, as the core
+  // does); static planners get pre-split chunks from their own plan.
+  struct Rdv {
+    std::size_t len;
+    std::vector<std::pair<std::size_t, std::size_t>> out;  ///< (offset, len) seen
+  };
+  std::map<std::uint64_t, Rdv> rdvs;
+  auto pattern = [](std::uint64_t id, std::size_t off) {
+    return static_cast<std::byte>((id * 131 + off) & 0xff);
+  };
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const std::size_t len = 64_KiB + rng.below(1u << 20);
+    rdvs[id].len = len;
+    std::vector<std::byte> payload(len);
+    for (std::size_t i = 0; i < len; ++i) payload[i] = pattern(id, i);
+    if (strat->plans_rdv_chunks()) {
+      nmad::Entry e;
+      e.kind = nmad::Entry::Kind::RdvChunk;
+      e.dst_proc = static_cast<int>(rng.below(4));
+      e.rdv_id = id;
+      e.offset = 0;
+      e.rail = -1;
+      e.bytes = std::move(payload);
+      strat->enqueue(std::move(e));
+    } else {
+      const std::vector<std::size_t> shares = strat->plan_rdv(len);
+      const int dst = static_cast<int>(rng.below(4));
+      std::size_t off = 0;
+      for (std::size_t r = 0; r < shares.size(); ++r) {
+        if (shares[r] == 0) continue;
+        nmad::Entry e;
+        e.kind = nmad::Entry::Kind::RdvChunk;
+        e.dst_proc = dst;
+        e.rdv_id = id;
+        e.offset = off;
+        e.rail = static_cast<int>(r);
+        e.bytes.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                       payload.begin() + static_cast<std::ptrdiff_t>(off + shares[r]));
+        off += shares[r];
+        strat->enqueue(std::move(e));
+      }
+      ASSERT_EQ(off, len);
+    }
+  }
+
+  // Drain: a full sweep over every rail must make progress while anything is
+  // pending (no rail starves, the stream never stalls).
+  std::map<std::tuple<int, int, nmad::Tag>, std::uint32_t> rail_seq;  // (rail, dst, tag)
+  std::size_t eager_out = 0;
+  std::size_t eager_bytes_out = 0;
+  while (strat->pending()) {
+    bool progress = false;
+    for (std::size_t r = 0; r < nrails; ++r) {
+      while (auto wm = strat->next(static_cast<int>(r), /*src=*/0)) {
+        progress = true;
+        std::size_t packed = 0;
+        for (const nmad::Entry& e : wm->entries) {
+          EXPECT_EQ(e.dst_proc, wm->dst_proc);
+          if (e.kind == nmad::Entry::Kind::Eager) {
+            // Within one rail, a (dst, tag) stream keeps its order; the
+            // receiver's sequence gate handles cross-rail interleaving.
+            auto it = rail_seq.find({static_cast<int>(r), e.dst_proc, e.tag});
+            if (it != rail_seq.end()) {
+              EXPECT_GT(e.seq, it->second) << "reorder within (rail, dst, tag)";
+            }
+            rail_seq[{static_cast<int>(r), e.dst_proc, e.tag}] = e.seq;
+            ++eager_out;
+            eager_bytes_out += e.bytes.size();
+            packed += e.bytes.size();
+          } else {
+            ASSERT_EQ(e.kind, nmad::Entry::Kind::RdvChunk);
+            ASSERT_TRUE(rdvs.count(e.rdv_id));
+            EXPECT_GT(e.bytes.size(), 0u);
+            for (std::size_t i = 0; i < e.bytes.size(); i += 97) {
+              ASSERT_EQ(e.bytes[i], pattern(e.rdv_id, e.offset + i)) << "payload corrupted";
+            }
+            rdvs[e.rdv_id].out.emplace_back(e.offset, e.bytes.size());
+          }
+        }
+        if (wm->entries.size() > 1) {
+          EXPECT_LE(packed, opts.max_aggregate);
+        }
+      }
+    }
+    ASSERT_TRUE(progress) << "strategy stalled with pending entries";
+    shuffle_load();
+  }
+
+  // Exactly-once, byte-conserving delivery.
+  EXPECT_EQ(eager_out, static_cast<std::size_t>(kEager));
+  EXPECT_EQ(eager_bytes_out, eager_bytes_in);
+  for (auto& [id, rdv] : rdvs) {
+    std::sort(rdv.out.begin(), rdv.out.end());
+    std::size_t cursor = 0;
+    for (const auto& [off, len] : rdv.out) {
+      EXPECT_EQ(off, cursor) << "gap or overlap in rendezvous " << id;
+      cursor = off + len;
+    }
+    EXPECT_EQ(cursor, rdv.len) << "rendezvous " << id << " bytes lost";
+  }
+
+  // Accounting drains to zero with the queues.
+  for (std::size_t r = 0; r < nrails; ++r) {
+    EXPECT_EQ(strat->backlog_bytes(static_cast<int>(r)), 0u);
+    EXPECT_FALSE(strat->next(static_cast<int>(r), 0).has_value());
+  }
+  EXPECT_EQ(strat->rdv_backlog_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Props, StrategyProperty,
+    ::testing::Combine(::testing::Values(nmad::StrategyKind::Default, nmad::StrategyKind::Aggreg,
+                                         nmad::StrategyKind::SplitBalance,
+                                         nmad::StrategyKind::CostModel),
+                       ::testing::Values(1, 7, 42, 12345)),
+    [](const auto& info) {
+      const char* k = std::get<0>(info.param) == nmad::StrategyKind::Default  ? "default"
+                      : std::get<0>(info.param) == nmad::StrategyKind::Aggreg ? "aggreg"
+                      : std::get<0>(info.param) == nmad::StrategyKind::SplitBalance
+                          ? "split"
+                          : "costmodel";
+      return std::string(k) + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace nmx
