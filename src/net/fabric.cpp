@@ -89,4 +89,8 @@ Time Fabric::uncontended_time(int rail, std::size_t bytes) const {
   return prof.wire_latency + prof.occupancy(bytes);
 }
 
+Time Fabric::uncontended_egress_time(int rail, std::size_t bytes) const {
+  return profile(rail).occupancy(bytes);
+}
+
 }  // namespace nmx::net

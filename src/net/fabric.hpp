@@ -70,6 +70,13 @@ class Fabric {
   /// network-sampling probe would measure on an idle machine.
   Time uncontended_time(int rail, std::size_t bytes) const;
 
+  /// Uncontended *egress* time on `rail` for `bytes`: how long the sending
+  /// NIC holds the buffer (what transmit() returns relative to submission on
+  /// an idle machine). Excludes wire latency — that share overlaps with the
+  /// sender's next submission, so completion-time estimators that include it
+  /// carry a systematic offset.
+  Time uncontended_egress_time(int rail, std::size_t bytes) const;
+
   /// Absolute time (node, rail)'s egress channel is booked until (<= now when
   /// the NIC is idle). This is the live occupancy signal a load-aware
   /// strategy reads; it includes traffic from co-located processes sharing

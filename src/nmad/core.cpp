@@ -274,9 +274,11 @@ void Core::submit(int local_rail, WireMsg wm) {
   const std::size_t bytes = wm.wire_bytes();
   // Cost-model prediction of this packet's egress completion: software
   // pre-cost, then queueing behind whatever the NIC is already booked for,
-  // then the sampled transfer model. Compared against reality at on_egress.
+  // then the sampled *egress* transfer model (alpha_tx — the one-way predict()
+  // includes wire latency the sender never waits for). Compared against
+  // reality at on_egress.
   d.tx_pred = std::max(eng_.now() + pre, fabric_.egress_busy_until(my_node_, d.fabric_rail)) +
-              sampling_.predict(local_rail, bytes);
+              sampling_.predict_egress(local_rail, bytes);
   strat_depth_ -= std::min(strat_depth_, wm.entries.size());
   if (obs::Recorder* rec = eng_.recorder()) {
     d.tx_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadTx, bytes, local_rail);
@@ -310,9 +312,9 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
     rec->metrics()
         .counter("nmad.rail.busy_ns", "rail=" + std::to_string(local_rail))
         .add(static_cast<std::uint64_t>((eng_.now() - d.tx_begin) * 1e9));
-    // Cost-model accuracy: |predicted - actual| egress completion. The model
-    // omits the wire-latency share of the sampled alpha, so a small
-    // systematic offset is expected; what matters is that it stays bounded.
+    // Cost-model accuracy: |predicted - actual| egress completion. With the
+    // egress-fitted alpha_tx the wire-latency offset is gone; residual error
+    // comes from cross-process NIC contention the predictor cannot see.
     rec->metrics()
         .histogram("nmad.sched.pred_error_us", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500})
         .observe(std::abs(eng_.now() - d.tx_pred) * 1e6);

@@ -23,6 +23,10 @@ Sampling::Sampling(const net::Fabric& fabric, const std::vector<int>& rails) {
     p.fabric_rail = fr;
     p.beta = static_cast<double>(kProbeLarge - kProbeSmall) / (t_large - t_small);
     p.alpha = t_small - static_cast<double>(kProbeSmall) / p.beta;
+    // Egress probes time only how long the NIC holds the send buffer; the
+    // bandwidth term is shared, so one small probe pins down alpha_tx.
+    p.alpha_tx =
+        fabric.uncontended_egress_time(fr, kProbeSmall) - static_cast<double>(kProbeSmall) / p.beta;
     rails_.push_back(p);
   }
   find_fastest();
@@ -30,6 +34,9 @@ Sampling::Sampling(const net::Fabric& fabric, const std::vector<int>& rails) {
 
 Sampling::Sampling(std::vector<RailPerf> rails) : rails_(std::move(rails)) {
   NMX_ASSERT(!rails_.empty());
+  for (RailPerf& p : rails_) {
+    if (p.alpha_tx < 0) p.alpha_tx = p.alpha;  // unprobed: old one-way estimator
+  }
   find_fastest();
 }
 
@@ -45,6 +52,11 @@ void Sampling::find_fastest() {
 Time Sampling::predict(int r, std::size_t len) const {
   const RailPerf& p = rails_.at(static_cast<std::size_t>(r));
   return p.alpha + static_cast<double>(len) / p.beta;
+}
+
+Time Sampling::predict_egress(int r, std::size_t len) const {
+  const RailPerf& p = rails_.at(static_cast<std::size_t>(r));
+  return p.alpha_tx + static_cast<double>(len) / p.beta;
 }
 
 Time Sampling::completion(int r, std::size_t len, Time ready) const {

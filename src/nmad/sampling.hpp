@@ -29,8 +29,13 @@ namespace nmx::nmad {
 
 struct RailPerf {
   int fabric_rail = 0;   ///< rail index in the fabric topology
-  Time alpha = 0;        ///< fitted per-message latency
+  Time alpha = 0;        ///< fitted per-message latency (one-way, incl. wire)
   Bandwidth beta = 0;    ///< fitted bandwidth (bytes/s)
+  /// Fitted per-message *egress* latency: the share of alpha the sending NIC
+  /// actually holds the buffer for (excludes wire propagation, which overlaps
+  /// with the next submission). Negative means "not probed" — the vector
+  /// constructor then falls back to alpha, preserving the old estimator.
+  Time alpha_tx = -1;
 };
 
 class Sampling {
@@ -50,6 +55,14 @@ class Sampling {
 
   /// Predicted uncontended one-way time for `len` bytes on local rail `r`.
   Time predict(int r, std::size_t len) const;
+
+  /// Predicted uncontended *egress* time for `len` bytes on local rail `r` —
+  /// how long the sending NIC is busy, i.e. what Fabric::transmit's return
+  /// value advances by on an idle rail. This is the right estimator for
+  /// tx-completion bookkeeping (Core's tx_pred): using the one-way predict()
+  /// there over-estimates by the wire-latency share and shows up as a
+  /// systematic offset in the nmad.sched.pred_error_us histogram.
+  Time predict_egress(int r, std::size_t len) const;
 
   /// Predicted completion time for `len` bytes on local rail `r` when the
   /// rail cannot start before `ready` (backlog ahead of this transfer).

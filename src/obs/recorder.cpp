@@ -27,6 +27,25 @@ const char* to_string(Cat cat) {
   return "?";
 }
 
+void Recorder::set_capacity(std::size_t cap) {
+  cap_ = cap;
+  // Re-establish the invariants under the new bound: rings start at 0 and
+  // sizes fit. Oldest entries go first, same as steady-state overwrite.
+  normalize(records_, rec_start_);
+  normalize(samples_, samp_start_);
+  if (cap_ == 0) return;
+  if (records_.size() > cap_) {
+    const std::size_t excess = records_.size() - cap_;
+    records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_records_ += excess;
+  }
+  if (samples_.size() > cap_) {
+    const std::size_t excess = samples_.size() - cap_;
+    samples_.erase(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_samples_ += excess;
+  }
+}
+
 std::vector<SpanId> Recorder::unbalanced_spans() const {
   std::map<SpanId, int> open;  // +1 per Begin, -1 per End
   for (const Record& r : records_) {

@@ -14,9 +14,11 @@
 //   * sim/trace.hpp         — the legacy Paje-flavoured text view (shim)
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -77,13 +79,13 @@ struct CounterSample {
 class Recorder {
  public:
   void instant(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
-    records_.push_back(Record{t, rank, cat, Ph::Instant, 0, bytes, arg});
+    push_record(Record{t, rank, cat, Ph::Instant, 0, bytes, arg});
   }
 
   /// Open a span and return its id (always nonzero).
   SpanId begin(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
     const SpanId id = next_span_++;
-    records_.push_back(Record{t, rank, cat, Ph::Begin, id, bytes, arg});
+    push_record(Record{t, rank, cat, Ph::Begin, id, bytes, arg});
     ++begun_;
     return id;
   }
@@ -92,17 +94,39 @@ class Recorder {
   /// attached), so callers may invoke it unconditionally.
   void end(Time t, int rank, Cat cat, SpanId id, std::size_t bytes = 0, std::int64_t arg = 0) {
     if (id == 0) return;
-    records_.push_back(Record{t, rank, cat, Ph::End, id, bytes, arg});
+    push_record(Record{t, rank, cat, Ph::End, id, bytes, arg});
     ++ended_;
   }
 
   /// Append a point to counter track `track` (created on first use).
   void sample(Time t, int rank, std::string track, double value) {
-    samples_.push_back(CounterSample{t, rank, std::move(track), value});
+    push_sample(CounterSample{t, rank, std::move(track), value});
   }
 
-  const std::vector<Record>& records() const { return records_; }
-  const std::vector<CounterSample>& samples() const { return samples_; }
+  // --- ring-buffer mode ----------------------------------------------------
+  // Long NAS runs emit millions of records; bounding the store keeps tracing
+  // usable without unbounded memory. Once full, the *oldest* record/sample is
+  // overwritten (the interesting end of a trace is almost always the recent
+  // one) and a dropped counter ticks so exporters can flag truncation.
+  // Metrics (counters/gauges/histograms) are aggregates and are never
+  // dropped; spans_begun/ended keep counting every event.
+
+  /// Bound records *and* samples to `cap` entries each; 0 restores unbounded
+  /// mode. Shrinking below the current size drops the oldest entries now.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return cap_; }
+  /// Records / counter samples overwritten (or shed by set_capacity) so far.
+  std::uint64_t dropped_records() const { return dropped_records_; }
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+
+  const std::vector<Record>& records() const {
+    normalize(records_, rec_start_);
+    return records_;
+  }
+  const std::vector<CounterSample>& samples() const {
+    normalize(samples_, samp_start_);
+    return samples_;
+  }
   std::size_t size() const { return records_.size(); }
 
   Registry& metrics() { return metrics_; }
@@ -120,11 +144,47 @@ class Recorder {
     samples_.clear();
     metrics_.clear();
     begun_ = ended_ = 0;
+    rec_start_ = samp_start_ = 0;
+    dropped_records_ = dropped_samples_ = 0;
   }
 
  private:
-  std::vector<Record> records_;
-  std::vector<CounterSample> samples_;
+  void push_record(Record&& r) {
+    if (cap_ == 0 || records_.size() < cap_) {
+      records_.push_back(std::move(r));
+      return;
+    }
+    records_[rec_start_] = std::move(r);  // overwrite the oldest
+    rec_start_ = (rec_start_ + 1) % cap_;
+    ++dropped_records_;
+  }
+  void push_sample(CounterSample&& s) {
+    if (cap_ == 0 || samples_.size() < cap_) {
+      samples_.push_back(std::move(s));
+      return;
+    }
+    samples_[samp_start_] = std::move(s);
+    samp_start_ = (samp_start_ + 1) % cap_;
+    ++dropped_samples_;
+  }
+  /// Rotate the ring so index 0 is the oldest entry, letting the accessors
+  /// keep returning plain time-ordered vectors. Amortized: reads between
+  /// wraps pay nothing.
+  template <typename T>
+  static void normalize(std::vector<T>& v, std::size_t& start) {
+    if (start == 0) return;
+    std::rotate(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(start), v.end());
+    start = 0;
+  }
+
+  // mutable: the ring is rotated into canonical order on const reads
+  mutable std::vector<Record> records_;
+  mutable std::vector<CounterSample> samples_;
+  mutable std::size_t rec_start_ = 0;
+  mutable std::size_t samp_start_ = 0;
+  std::size_t cap_ = 0;  ///< 0: unbounded
+  std::uint64_t dropped_records_ = 0;
+  std::uint64_t dropped_samples_ = 0;
   Registry metrics_;
   SpanId next_span_ = 1;
   std::uint64_t begun_ = 0;

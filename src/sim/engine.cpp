@@ -81,12 +81,7 @@ void Actor::sleep_until(Time t) {
   interruptible_ = false;
   woken_ = false;
   const auto gen = ++generation_;
-  engine_.schedule(t, [this, gen] {
-    if (state_ == State::Blocked && generation_ == gen) {
-      woken_ = true;
-      engine_.resume(*this);
-    }
-  });
+  engine_.schedule_resume(t, this, gen, Engine::kResumeSleep);
   yield_to_engine();
   state_ = State::Running;
 }
@@ -110,24 +105,22 @@ bool Actor::block_until(Time deadline) {
   interruptible_ = true;
   woken_ = false;
   const auto gen = ++generation_;
-  engine_.schedule(deadline, [this, gen] {
-    if (state_ == State::Blocked && generation_ == gen && !woken_) {
-      engine_.resume(*this);  // timeout path: woken_ stays false
-    }
-  });
+  timer_ = engine_.schedule_resume(deadline, this, gen, Engine::kResumeTimeout);
   yield_to_engine();
   state_ = State::Running;
   interruptible_ = false;
+  timer_ = 0;  // consumed by the timeout dispatch or cancelled by wake()
   return woken_;
 }
 
 void Actor::wake() {
   if (state_ != State::Blocked || !interruptible_ || woken_) return;
   woken_ = true;
-  const auto gen = generation_;
-  engine_.schedule(engine_.now(), [this, gen] {
-    if (state_ == State::Blocked && generation_ == gen) engine_.resume(*this);
-  });
+  if (timer_ != 0) {
+    engine_.cancel(timer_);  // O(1) tombstone; keeps timeout storms off the heap
+    timer_ = 0;
+  }
+  engine_.schedule_resume(engine_.now(), this, generation_, Engine::kResumeWake);
 }
 
 // ---------------------------------------------------------------------------
@@ -136,28 +129,243 @@ void Actor::wake() {
 
 Engine::~Engine() {
   // Stop actors before destroying the event storage they may reference.
+  // Pending closures in the pool are destroyed (never invoked) with blocks_.
   for (auto& a : actors_) a->request_stop();
 }
 
-EventId Engine::schedule(Time t, EventFn fn) {
-  NMX_ASSERT(fn != nullptr);
-  // Floating-point composition can land an instant before `now`; clamp
-  // rather than violate monotonicity.
-  t = std::max(t, now_);
-  const EventId id = next_id_++;
-  events_.emplace(id, std::move(fn));
-  queue_.push(QEntry{t, seq_++, id});
-  return id;
+Engine::Event& Engine::alloc_event(Time t) {
+  if (free_.empty()) {
+    NMX_ASSERT_MSG(slots_total_ + kBlockSize < kNoSlot, "event pool exhausted");
+    auto block = std::make_unique<Event[]>(kBlockSize);
+    const auto base = static_cast<std::uint32_t>(slots_total_);
+    for (std::uint32_t i = 0; i < kBlockSize; ++i) block[i].slot = base + i;
+    // LIFO free list, low indices last: recently-freed (cache-warm) slots are
+    // reused first.
+    for (std::uint32_t i = kBlockSize; i-- > 0;) free_.push_back(base + i);
+    blocks_.push_back(std::move(block));
+    slots_total_ += kBlockSize;
+  }
+  Event& ev = slot_ref(free_.back());
+  free_.pop_back();
+  NMX_ASSERT(ev.state == kStateFree);
+  ev.t = t;
+  ev.seq = seq_++;
+  ev.state = kStatePending;
+  ev.resume_mode = kResumeNone;
+  ev.actor = nullptr;
+  ev.actor_gen = 0;
+  return ev;
 }
 
-void Engine::cancel(EventId id) { events_.erase(id); }
+void Engine::free_slot(Event& ev) {
+  ev.fn.reset();
+  ev.state = kStateFree;
+  ev.actor = nullptr;
+  ++ev.gen;  // invalidates any outstanding EventId for this slot
+  free_.push_back(ev.slot);
+}
+
+void Engine::route(Event& ev, Time delta) {
+  if (ev.t <= now_) {
+    // Same-timestamp bucket: actor wakes, resume batons, clamped past events.
+    ev.loc = kLocDue;
+    due_.push_back(ev.slot);
+    return;
+  }
+  if (delta > 0) {
+    for (DeltaQueue& d : deltas_) {
+      if (d.dt == delta) {
+        ++d.hits;
+        ev.loc = kLocDelta;
+        d.q.push_back(ev.slot);
+        return;
+      }
+    }
+    // Unseen delta: claim a fresh queue while capacity lasts, else recycle
+    // the coldest empty one. Variable deltas (per-size copy costs) miss and
+    // fall through to the heap, which is always correct.
+    DeltaQueue* claim = nullptr;
+    if (deltas_.size() < kMaxDeltaQueues) {
+      claim = &deltas_.emplace_back();
+    } else {
+      for (DeltaQueue& d : deltas_) {
+        if (d.q.empty() && (claim == nullptr || d.hits < claim->hits)) claim = &d;
+      }
+    }
+    if (claim != nullptr) {
+      claim->dt = delta;
+      claim->hits = 1;
+      ev.loc = kLocDelta;
+      claim->q.push_back(ev.slot);
+      return;
+    }
+  }
+  ev.loc = kLocHeap;
+  heap_.push_back(HeapEntry{ev.t, ev.seq, ev.slot});
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+}
+
+void Engine::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (slot >= slots_total_) return;
+  Event& ev = slot_ref(slot);
+  if (ev.state != kStatePending || ev.gen != static_cast<std::uint32_t>(id >> 32)) return;
+  ev.fn.reset();  // release captured resources immediately
+  ev.state = kStateCancelled;
+  ++tombstones_;
+  if (ev.loc == kLocHeap) {
+    ++heap_dead_;
+    // Deferred compaction: only when dead entries dominate, so cancel stays
+    // O(1) amortized and the heap never fills with tombstones.
+    if (heap_dead_ >= 64 && heap_dead_ * 2 >= heap_.size()) compact_heap();
+  }
+}
+
+void Engine::compact_heap() {
+  std::size_t kept = 0;
+  for (HeapEntry& e : heap_) {
+    Event& ev = slot_ref(e.slot);
+    if (ev.state == kStateCancelled) {
+      --tombstones_;
+      free_slot(ev);
+    } else {
+      heap_[kept++] = e;
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  heap_dead_ = 0;
+  ++heap_compactions_;
+}
+
+std::uint32_t Engine::pop_next() {
+  // Reap tombstones at every queue front so min-selection sees live events.
+  auto reap_fifo = [&](std::deque<std::uint32_t>& dq) {
+    while (!dq.empty()) {
+      Event& ev = slot_ref(dq.front());
+      if (ev.state != kStateCancelled) break;
+      --tombstones_;
+      free_slot(ev);
+      dq.pop_front();
+    }
+  };
+  reap_fifo(due_);
+  for (DeltaQueue& d : deltas_) reap_fifo(d.q);
+  while (!heap_.empty()) {
+    Event& ev = slot_ref(heap_.front().slot);
+    if (ev.state != kStateCancelled) break;
+    --tombstones_;
+    --heap_dead_;
+    free_slot(ev);
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    heap_.pop_back();
+  }
+
+  // Global (t, seq) minimum across the three structures. Every queue is
+  // sorted, so comparing fronts yields the same total order as one heap.
+  enum { kNone, kDue, kDelta, kHeap } src = kNone;
+  std::size_t delta_idx = 0;
+  Time bt = 0;
+  std::uint64_t bs = 0;
+  auto better = [&](Time t, std::uint64_t s) {
+    return src == kNone || t < bt || (t == bt && s < bs);
+  };
+  if (!due_.empty()) {
+    const Event& ev = slot_ref(due_.front());
+    src = kDue;
+    bt = ev.t;
+    bs = ev.seq;
+  }
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    if (deltas_[i].q.empty()) continue;
+    const Event& ev = slot_ref(deltas_[i].q.front());
+    if (better(ev.t, ev.seq)) {
+      src = kDelta;
+      delta_idx = i;
+      bt = ev.t;
+      bs = ev.seq;
+    }
+  }
+  if (!heap_.empty() && better(heap_.front().t, heap_.front().seq)) src = kHeap;
+
+  switch (src) {
+    case kNone: return kNoSlot;
+    case kDue: {
+      const std::uint32_t s = due_.front();
+      due_.pop_front();
+      return s;
+    }
+    case kDelta: {
+      const std::uint32_t s = deltas_[delta_idx].q.front();
+      deltas_[delta_idx].q.pop_front();
+      return s;
+    }
+    case kHeap: {
+      const std::uint32_t s = heap_.front().slot;
+      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+      heap_.pop_back();
+      return s;
+    }
+  }
+  NMX_FAIL("unreachable");
+}
+
+void Engine::dispatch(Event& ev) {
+  ev.state = kStateRunning;
+  if (ev.fn) {
+    // The closure's captures live in the pool slot; free it (destroying the
+    // closure) only after the call returns — or unwinds.
+    struct SlotGuard {
+      Engine* e;
+      Event* ev;
+      ~SlotGuard() { e->free_slot(*ev); }
+    } guard{this, &ev};
+    ev.fn();
+  } else {
+    // Closure-free actor resume: the hottest event kind is a branch, not an
+    // indirect call. Free the slot first — resume() runs arbitrarily long.
+    Actor* a = ev.actor;
+    const std::uint64_t gen = ev.actor_gen;
+    const std::uint8_t mode = ev.resume_mode;
+    free_slot(ev);
+    switch (mode) {
+      case kResumeSpawn:
+        if (!a->finished()) resume(*a);
+        break;
+      case kResumeSleep:
+        if (a->state_ == Actor::State::Blocked && a->generation_ == gen) {
+          a->woken_ = true;
+          resume(*a);
+        }
+        break;
+      case kResumeTimeout:
+        if (a->state_ == Actor::State::Blocked && a->generation_ == gen && !a->woken_) {
+          a->timer_ = 0;
+          resume(*a);  // timeout path: woken_ stays false
+        }
+        break;
+      case kResumeWake:
+        if (a->state_ == Actor::State::Blocked && a->generation_ == gen) resume(*a);
+        break;
+      default:
+        NMX_FAIL("corrupt resume event");
+    }
+  }
+}
+
+EventId Engine::schedule_resume(Time t, Actor* a, std::uint64_t actor_gen, std::uint8_t mode) {
+  Event& ev = alloc_event(t < now_ ? now_ : t);
+  ev.actor = a;
+  ev.actor_gen = actor_gen;
+  ev.resume_mode = mode;
+  route(ev, -1.0);
+  return id_of(ev);
+}
 
 Actor& Engine::spawn(std::string name, std::function<void(Actor&)> body) {
   actors_.emplace_back(std::unique_ptr<Actor>(new Actor(*this, std::move(name), std::move(body))));
   Actor* a = actors_.back().get();
-  schedule(now_, [this, a] {
-    if (!a->finished()) resume(*a);
-  });
+  schedule_resume(now_, a, 0, kResumeSpawn);
   return *a;
 }
 
@@ -169,17 +377,14 @@ void Engine::resume(Actor& a) {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    const QEntry e = queue_.top();
-    queue_.pop();
-    auto it = events_.find(e.id);
-    if (it == events_.end()) continue;  // cancelled
-    EventFn fn = std::move(it->second);
-    events_.erase(it);
-    NMX_ASSERT_MSG(e.t >= now_, "event queue went backwards in time");
-    now_ = e.t;
+  for (;;) {
+    const std::uint32_t slot = pop_next();
+    if (slot == kNoSlot) break;
+    Event& ev = slot_ref(slot);
+    NMX_ASSERT_MSG(ev.t >= now_, "event queue went backwards in time");
+    now_ = ev.t;
     ++processed_;
-    fn();
+    dispatch(ev);
   }
   std::string stuck;
   for (auto& a : actors_) {

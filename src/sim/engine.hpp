@@ -3,7 +3,7 @@
 // Execution model (the SMPI/SimGrid methodology): simulated processes (MPI
 // ranks, PIOMan progress engines, ...) run as *actors* — real std::threads
 // that hold the "baton" one at a time. The engine thread pops timestamped
-// events off a priority queue; an event is either a plain callback (protocol
+// events off its queues; an event is either a plain callback (protocol
 // handlers: packet arrival, NIC completion, ...) or the resumption of a
 // blocked actor. While an actor runs, the engine thread waits; while the
 // engine runs, every actor waits. The whole simulation therefore has
@@ -12,22 +12,49 @@
 //
 // Virtual time only advances in the engine loop. Determinism is total:
 // same inputs => same event order => identical timing results.
+//
+// Hot-path layout (the storm at 64+ ranks pushes tens of millions of events
+// through here, so the scheduling structures are built for throughput):
+//
+//  * Pooled events. Every scheduled event lives in a slot of a slab pool
+//    (fixed-size blocks, stable addresses, free-list reuse) and owns its
+//    callback inline via SmallFn — no per-event heap allocation and no
+//    side-table: the old std::unordered_map<EventId, EventFn> lookup + erase
+//    per event is gone. EventId encodes (generation << 32 | slot), so cancel
+//    and stale-id detection are pointer-free O(1) slot probes.
+//  * Three queues, one total order. (a) `due_`: FIFO bucket for events
+//    scheduled at the current virtual time (actor wakes, resume batons,
+//    clamped past events) — push/pop O(1), and same-timestamp resume chains
+//    coalesce into one engine pass with a single front comparison instead of
+//    a heap sift per handoff. (b) `deltas_`: small set of FIFO queues keyed
+//    by exact schedule_in() delta — the "now + constant α" NIC/software
+//    costs (inject, deliver, reaction period, ...) are a handful of repeated
+//    constants, and now+α is monotone in now, so each queue stays sorted by
+//    construction: O(1) push/pop. (c) `heap_`: classic binary heap of
+//    (t, seq, slot) for everything else. The dispatcher pops the global
+//    (t, seq)-minimum across the three; semantics are identical to a single
+//    priority queue (events at equal times run in scheduling order).
+//  * Tombstone cancellation. cancel() destroys the callback and flags the
+//    slot O(1); queue entries are skipped lazily at the front. When dead
+//    entries dominate the heap, it is compacted in one pass (deferred
+//    compaction), so cancel-heavy paths (block_until timeouts) never pay a
+//    per-cancel O(n) erase or grow the heap without bound.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "sim/smallfn.hpp"
 
 namespace nmx::obs {
 class Recorder;
@@ -81,7 +108,8 @@ class Actor {
 
   /// Make a blocked actor runnable again (resumed at the current virtual
   /// time). No-op if the actor is not blocked, is sleeping, or was already
-  /// woken — so completion handlers may call it unconditionally.
+  /// woken — so completion handlers may call it unconditionally. Cancels the
+  /// pending block_until timeout event, if any (O(1) tombstone).
   void wake();
 
   bool finished() const { return state_ == State::Finished; }
@@ -105,6 +133,7 @@ class Actor {
   std::uint64_t generation_ = 0;  // invalidates stale resume events
   bool woken_ = false;            // resumed by wake() (vs. timer)
   bool interruptible_ = false;    // wake() honored only while true
+  EventId timer_ = 0;             // pending block_until timeout event
 
   std::mutex m_;
   std::condition_variable cv_;
@@ -128,10 +157,28 @@ class Engine {
 
   /// Schedule `fn` to run on the engine thread at virtual time `t`
   /// (clamped to now; events at equal times run in scheduling order).
-  EventId schedule(Time t, EventFn fn);
-  /// Schedule `fn` `dt` seconds from now.
-  EventId schedule_in(Time dt, EventFn fn) { return schedule(now_ + dt, std::move(fn)); }
-  /// Cancel a pending event. No-op if it already ran or was cancelled.
+  template <typename F>
+  EventId schedule(Time t, F&& fn) {
+    Event& ev = alloc_event(t < now_ ? now_ : t);
+    emplace_fn(ev, std::forward<F>(fn));
+    route(ev, /*delta=*/-1.0);
+    return id_of(ev);
+  }
+
+  /// Schedule `fn` `dt` seconds from now. Constant deltas (the common NIC /
+  /// software-cost case) take an O(1) sorted-FIFO fast path.
+  template <typename F>
+  EventId schedule_in(Time dt, F&& fn) {
+    if (dt < 0) dt = 0;
+    Event& ev = alloc_event(now_ + dt);
+    emplace_fn(ev, std::forward<F>(fn));
+    route(ev, dt);
+    return id_of(ev);
+  }
+
+  /// Cancel a pending event: O(1) — destroys the callback and tombstones the
+  /// pool slot; the queue entry is reaped lazily. No-op if the event already
+  /// ran or was cancelled.
   void cancel(EventId id);
 
   /// Create an actor whose body starts at the current virtual time.
@@ -145,6 +192,22 @@ class Engine {
 
   std::size_t events_processed() const { return processed_; }
 
+  // --- pool accounting (stress tests + perf harness assert on these) ------
+
+  /// Slots currently holding a scheduled-or-running event. 0 after a
+  /// completed run: anything else means a leaked pool slot.
+  std::size_t live_events() const { return slots_total_ - free_.size(); }
+  /// Total pool capacity (high-water mark of concurrently pending events,
+  /// rounded up to the slab block size).
+  std::size_t pool_slots() const { return slots_total_; }
+  /// Closures too large (or not nothrow-movable) for the inline event slot —
+  /// each one cost a heap allocation. Stays 0 on the steady-state path.
+  std::uint64_t closure_heap_allocs() const { return closure_heap_allocs_; }
+  /// Cancelled events whose queue entries have not been reaped yet.
+  std::size_t tombstones() const { return tombstones_; }
+  /// Deferred heap compaction passes performed.
+  std::uint64_t heap_compactions() const { return heap_compactions_; }
+
   /// Attach an observability recorder (obs/recorder.hpp). Null disables all
   /// instrumentation; the pointer is not owned and must outlive the
   /// simulation. The legacy sim::Tracer wraps a Recorder — attach one via
@@ -157,24 +220,95 @@ class Engine {
 
  private:
   friend class Actor;
-  void resume(Actor& a);
 
-  struct QEntry {
+  static constexpr std::uint32_t kBlockSize = 256;  ///< events per slab block
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kMaxDeltaQueues = 8;
+
+  enum : std::uint8_t { kStateFree = 0, kStatePending, kStateRunning, kStateCancelled };
+  enum : std::uint8_t { kLocDue = 0, kLocDelta, kLocHeap };
+  /// Actor-resume events carry no closure at all — mode + actor + generation
+  /// live directly in the slot, so the hottest event kind (baton handoff) is
+  /// a plain store on schedule and a branch on dispatch.
+  enum : std::uint8_t { kResumeNone = 0, kResumeSpawn, kResumeSleep, kResumeTimeout, kResumeWake };
+
+  struct Event {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    SmallFn fn;                     // engaged for callback events only
+    Actor* actor = nullptr;         // resume events
+    std::uint64_t actor_gen = 0;    // resume events: Actor::generation_ guard
+    std::uint32_t slot = 0;         // own index (blocks are address-stable)
+    std::uint32_t gen = 1;          // bumped on free; half of the EventId
+    std::uint8_t state = kStateFree;
+    std::uint8_t loc = kLocDue;
+    std::uint8_t resume_mode = kResumeNone;
+  };
+
+  struct HeapEntry {
     Time t;
     std::uint64_t seq;
-    EventId id;
-    bool operator>(const QEntry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
+    std::uint32_t slot;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // min-(t, seq) at the front
     }
   };
 
+  /// FIFO for one recurring schedule_in() delta. now+dt is monotone in now,
+  /// so the queue is sorted by (t, seq) by construction.
+  struct DeltaQueue {
+    Time dt = 0;
+    std::uint64_t hits = 0;
+    std::deque<std::uint32_t> q;
+  };
+
+  Event& slot_ref(std::uint32_t slot) {
+    return blocks_[slot / kBlockSize][slot % kBlockSize];
+  }
+  static EventId id_of(const Event& ev) {
+    return (static_cast<EventId>(ev.gen) << 32) | ev.slot;
+  }
+
+  Event& alloc_event(Time t);
+  template <typename F>
+  void emplace_fn(Event& ev, F&& fn) {
+    if (!ev.fn.emplace(std::forward<F>(fn))) ++closure_heap_allocs_;
+  }
+  /// File the event under due_/deltas_/heap_. `delta` < 0: absolute-time
+  /// schedule (due bucket when t == now, else heap).
+  void route(Event& ev, Time delta);
+  void free_slot(Event& ev);
+  /// Pop the (t, seq)-minimum live event across the three queues, reaping
+  /// tombstones at the fronts. kNoSlot when everything drained.
+  std::uint32_t pop_next();
+  void compact_heap();
+  void dispatch(Event& ev);
+
+  /// Closure-free actor-resume scheduling (Actor wake/sleep/timeout/spawn).
+  EventId schedule_resume(Time t, Actor* a, std::uint64_t actor_gen, std::uint8_t mode);
+  void resume(Actor& a);
+
   Time now_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
-  std::unordered_map<EventId, EventFn> events_;
+
+  // event pool
+  std::vector<std::unique_ptr<Event[]>> blocks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t slots_total_ = 0;
+  std::uint64_t closure_heap_allocs_ = 0;
+
+  // queues
+  std::deque<std::uint32_t> due_;
+  std::vector<DeltaQueue> deltas_;
+  std::vector<HeapEntry> heap_;
+  std::size_t tombstones_ = 0;
+  std::size_t heap_dead_ = 0;  ///< tombstoned entries still in heap_
+  std::uint64_t heap_compactions_ = 0;
+
   std::vector<std::unique_ptr<Actor>> actors_;
   Actor* current_ = nullptr;
   obs::Recorder* recorder_ = nullptr;

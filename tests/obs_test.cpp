@@ -147,6 +147,99 @@ TEST(Recorder, EndOfSpanZeroIsANoop) {
 }
 
 // ---------------------------------------------------------------------------
+// Ring-buffer mode
+// ---------------------------------------------------------------------------
+
+TEST(RecorderRing, DropsOldestAndCountsDrops) {
+  obs::Recorder rec;
+  rec.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.instant(static_cast<Time>(i) * 1e-6, 0, obs::Cat::PiomanPass, 0, i);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped_records(), 6u);
+  // The survivors are the *newest* four, still in time order.
+  const auto& recs = rec.records();
+  ASSERT_EQ(recs.size(), 4u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].arg, static_cast<std::int64_t>(6 + i));
+    if (i > 0) EXPECT_GE(recs[i].t, recs[i - 1].t);
+  }
+}
+
+TEST(RecorderRing, SamplesRingIndependently) {
+  obs::Recorder rec;
+  rec.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    rec.sample(static_cast<Time>(i) * 1e-6, 0, "q", static_cast<double>(i));
+  }
+  rec.instant(1e-6, 0, obs::Cat::PiomanPass);  // records ring untouched by samples
+  EXPECT_EQ(rec.dropped_samples(), 2u);
+  EXPECT_EQ(rec.dropped_records(), 0u);
+  const auto& s = rec.samples();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].value, 2.0);
+  EXPECT_EQ(s[2].value, 4.0);
+}
+
+TEST(RecorderRing, ReadingMidWrapKeepsTimeOrder) {
+  obs::Recorder rec;
+  rec.set_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    rec.instant(static_cast<Time>(i) * 1e-6, 0, obs::Cat::PiomanPass, 0, i);
+    // Interleaved reads must always see a time-ordered window (the rotate-on-
+    // read normalization), and must not disturb subsequent writes.
+    const auto& recs = rec.records();
+    for (std::size_t j = 1; j < recs.size(); ++j) EXPECT_GE(recs[j].t, recs[j - 1].t);
+  }
+  EXPECT_EQ(rec.records().back().arg, 5);
+  EXPECT_EQ(rec.dropped_records(), 2u);
+}
+
+TEST(RecorderRing, SpanAndMetricAggregatesSurviveDrops) {
+  obs::Recorder rec;
+  rec.set_capacity(2);
+  std::vector<obs::SpanId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(rec.begin(1e-6, 0, obs::Cat::Compute));
+  for (obs::SpanId id : ids) rec.end(2e-6, 0, obs::Cat::Compute, id);
+  rec.metrics().counter("c").add(8);
+  // The record window truncated, but the aggregate views kept counting.
+  EXPECT_EQ(rec.spans_begun(), 8u);
+  EXPECT_EQ(rec.spans_ended(), 8u);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped_records(), 14u);
+  EXPECT_EQ(rec.metrics().counter("c").value(), 8u);
+}
+
+TEST(RecorderRing, ShrinkingCapacityShedsOldestNow) {
+  obs::Recorder rec;
+  for (int i = 0; i < 6; ++i) {
+    rec.instant(static_cast<Time>(i) * 1e-6, 0, obs::Cat::PiomanPass, 0, i);
+  }
+  rec.set_capacity(2);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped_records(), 4u);
+  EXPECT_EQ(rec.records()[0].arg, 4);
+  EXPECT_EQ(rec.records()[1].arg, 5);
+  // Back to unbounded: nothing sheds, new pushes append.
+  rec.set_capacity(0);
+  rec.instant(9e-6, 0, obs::Cat::PiomanPass, 0, 9);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped_records(), 4u);
+}
+
+TEST(RecorderRing, ClearResetsRingState) {
+  obs::Recorder rec;
+  rec.set_capacity(2);
+  for (int i = 0; i < 5; ++i) rec.instant(1e-6, 0, obs::Cat::PiomanPass);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped_records(), 0u);
+  rec.instant(1e-6, 0, obs::Cat::PiomanPass, 0, 7);
+  EXPECT_EQ(rec.records()[0].arg, 7);  // ring restarts cleanly at slot 0
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: traced cluster
 // ---------------------------------------------------------------------------
 

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "mpi/cluster.hpp"
 #include "nmad/strategy.hpp"
 #include "sim/rng.hpp"
 
@@ -214,6 +215,45 @@ INSTANTIATE_TEST_SUITE_P(
                           : "costmodel";
       return std::string(k) + "_s" + std::to_string(std::get<1>(info.param));
     });
+
+// The cost model predicts *egress* completion (when the sending NIC releases
+// the buffer), so its alpha must be the egress-fitted alpha_tx, not the
+// one-way alpha that includes wire latency. With the one-way alpha every
+// prediction carried a systematic ~1.1us (IB wire latency) offset; with
+// alpha_tx the mean |error| on an uncongested workload must sit well below
+// that — residual error is only cross-process NIC contention.
+TEST(CostModelPrediction, EgressFittedAlphaRemovesWireLatencyOffset) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.procs = 2;
+  cfg.rails = {net::ib_profile()};
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = nmad::StrategyKind::CostModel;
+  cfg.pioman = true;
+  cfg.trace = true;
+
+  mpi::Cluster cluster(cfg);
+  cluster.run([&](mpi::Comm& c) {
+    const int peer = c.rank() < c.size() / 2 ? c.rank() + c.size() / 2 : c.rank() - c.size() / 2;
+    sim::Xoshiro256 rng(99 + static_cast<std::uint64_t>(c.rank() < peer ? c.rank() : peer));
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t size = 1 + rng.below(128_KiB);
+      std::vector<std::byte> out(size), in(size);
+      c.sendrecv(out.data(), size, peer, i, in.data(), size, peer, i);
+    }
+    c.barrier();
+  });
+
+  const obs::Recorder* rec = cluster.recorder();
+  ASSERT_NE(rec, nullptr);
+  const obs::Histogram* h = rec->metrics().find_histogram("nmad.sched.pred_error_us");
+  ASSERT_NE(h, nullptr);
+  ASSERT_GT(h->count(), 0u);
+  const double mean_us = h->sum() / static_cast<double>(h->count());
+  // Old estimator: mean |error| ~= kIbWireLatency = 1.1us. Demand < 0.5us.
+  EXPECT_LT(mean_us, 0.5) << "pred_error mean " << mean_us
+                          << "us — wire-latency offset is back in the estimator";
+}
 
 }  // namespace
 }  // namespace nmx

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against the checked-in baseline.
+
+Fails (exit 1) when any (bench, ranks) series present in both files lost more
+than the allowed fraction of events/sec. Faster-than-baseline results pass and
+print a hint to refresh the baseline. Series present on only one side are
+reported but not fatal, so adding a new bench does not require touching CI.
+
+Usage: check_bench_regression.py <current.json> <baseline.json> [--max-loss=0.25]
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["bench"], r.get("ranks", 0)): r for r in rows}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    max_loss = 0.25
+    for a in argv[3:]:
+        if a.startswith("--max-loss="):
+            max_loss = float(a.split("=", 1)[1])
+    current, baseline = load(argv[1]), load(argv[2])
+
+    failed = False
+    for key in sorted(set(current) | set(baseline)):
+        name = f"{key[0]}@{key[1]}ranks"
+        if key not in current:
+            print(f"  {name}: in baseline only (removed bench?)")
+            continue
+        if key not in baseline:
+            print(f"  {name}: new bench, no baseline yet")
+            continue
+        cur = current[key]["events_per_s"]
+        base = baseline[key]["events_per_s"]
+        loss = 1.0 - cur / base
+        verdict = "OK"
+        if loss > max_loss:
+            verdict = f"FAIL (>{max_loss:.0%} regression)"
+            failed = True
+        elif loss < -0.10:
+            verdict = "OK (faster — consider refreshing the baseline)"
+        print(f"  {name}: {cur:,.0f} vs baseline {base:,.0f} events/s "
+              f"({-loss:+.1%}) {verdict}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
