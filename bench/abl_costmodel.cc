@@ -81,6 +81,84 @@ Result run_case(nmad::StrategyKind strat, bool contended) {
   return r;
 }
 
+// Receiver-contended scenario: the congestion lives at the *receiver's*
+// ingress, where the sender's egress probe cannot see it. Ranks 2 and 3 (own
+// nodes, pinned to the MX rail) blast open-loop eager storms at the foreground
+// receiver; their combined egress is twice the MX ingress bandwidth, so the
+// receiver's MX ingress horizon grows without bound while its IB rail carries
+// only the (tiny) control traffic. Rendezvous interference would not do this:
+// its own RTS/CTS handshake rides the congested rail and throttles the
+// senders, so the queue self-limits at about one message per sender. A
+// one-ended cost model still hands MX its bandwidth-proportional split share
+// and those chunks land behind tens of milliseconds of queued storm; the
+// two-ended model reads the receiver's CTS load advertisement and prunes MX
+// out of the split entirely.
+Result run_recv_contended(bool two_ended) {
+  mpi::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.procs = 4;
+  cfg.cyclic_mapping = true;  // rank p on node p: four independent egresses
+  cfg.rails = {net::ib_profile(), net::mx_profile()};
+  cfg.stack = mpi::StackKind::Mpich2Nmad;
+  cfg.strategy = nmad::StrategyKind::CostModel;
+  cfg.two_ended_rdv = two_ended;
+  cfg.rank_rails[2] = {1};  // interferers drive only the MX rail
+  cfg.rank_rails[3] = {1};
+
+  constexpr std::size_t kFgMsg = 24_MiB;  // rendezvous foreground stream
+  constexpr int kFgIters = 2;
+  constexpr std::size_t kNoise = 32_KiB;  // eager: below the rendezvous switch
+  constexpr int kNoiseMsgs = 5000;        // outlives the foreground stream
+  constexpr int kWarmup = 1000;           // storm landed before the fg grant
+
+  Time fg_begin = 0, fg_end = 0;
+  mpi::Cluster cluster(cfg);
+  cluster.run([&](mpi::Comm& c) {
+    switch (c.rank()) {
+      case 0: {  // foreground sender: waits for "go" so the ingress queue exists
+        char go = 0;
+        c.recv(&go, 1, 1, 2);
+        std::vector<std::byte> buf(kFgMsg);
+        for (int i = 0; i < kFgIters; ++i) c.send(buf.data(), buf.size(), 1, 1);
+        break;
+      }
+      case 1: {  // foreground receiver, also sink for both interferer storms
+        std::vector<std::byte> noise(kNoise);
+        std::vector<std::byte> buf(kFgMsg);
+        // Let the storm ramp: by the time the foreground grant is issued the
+        // MX ingress horizon is deep enough that the two-ended solve prunes
+        // the rail (rank 3's stream stays unexpected until drained below).
+        for (int i = 0; i < kWarmup; ++i) c.recv(noise.data(), noise.size(), 2, 5);
+        const char go = 1;
+        c.send(&go, 1, 0, 2);
+        fg_begin = cluster.now();
+        for (int i = 0; i < kFgIters; ++i) c.recv(buf.data(), buf.size(), 0, 1);
+        fg_end = cluster.now();
+        for (int i = kWarmup; i < kNoiseMsgs; ++i) c.recv(noise.data(), noise.size(), 2, 5);
+        for (int i = 0; i < kNoiseMsgs; ++i) c.recv(noise.data(), noise.size(), 3, 5);
+        break;
+      }
+      case 2:
+      case 3: {  // interferer: open-loop eager storm into the receiver's MX rail
+        std::vector<std::byte> noise(kNoise);
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(kNoiseMsgs);
+        for (int i = 0; i < kNoiseMsgs; ++i) {
+          reqs.push_back(c.isend(noise.data(), noise.size(), 1, 5));
+        }
+        c.waitall(reqs);
+        break;
+      }
+      default: break;
+    }
+  });
+  Result r;
+  r.aggregate_MBps =
+      static_cast<double>(kFgIters) * static_cast<double>(kFgMsg) / (fg_end - fg_begin) /
+      (1024.0 * 1024.0);
+  return r;
+}
+
 void print_table() {
   harness::Table t({"fabric", "SplitBalance (MBps)", "CostModel (MBps)", "gain"});
   for (bool contended : {false, true}) {
@@ -91,6 +169,15 @@ void print_table() {
   }
   std::cout << "== Ablation: load-aware cost model vs SplitBalance (IB+MX, shared NICs) ==\n";
   t.print(std::cout);
+  std::cout << "\n";
+
+  harness::Table t2({"scenario", "one-ended (MBps)", "two-ended (MBps)", "gain"});
+  const double one = run_recv_contended(/*two_ended=*/false).aggregate_MBps;
+  const double two = run_recv_contended(/*two_ended=*/true).aggregate_MBps;
+  t2.add_row({"receiver-contended", harness::Table::fmt(one, 1), harness::Table::fmt(two, 1),
+              harness::Table::fmt(two / one, 3) + "x"});
+  std::cout << "== Ablation: receiver-advertised rail load in the CTS (two-ended split) ==\n";
+  t2.print(std::cout);
   std::cout << "\n";
 }
 
@@ -109,6 +196,15 @@ int main(int argc, char** argv) {
         }
       })->Iterations(1);
     }
+  }
+  for (bool two_ended : {false, true}) {
+    const std::string name =
+        std::string("abl/costmodel/recv_contended/") + (two_ended ? "two_ended" : "one_ended");
+    benchmark::RegisterBenchmark(name.c_str(), [two_ended](benchmark::State& st) {
+      for (auto _ : st) {
+        st.counters["MBps"] = run_recv_contended(two_ended).aggregate_MBps;
+      }
+    })->Iterations(1);
   }
   nmx::bench::emit_default_sidecar("abl_costmodel", [] {
     mpi::ClusterConfig cfg;

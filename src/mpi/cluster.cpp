@@ -58,8 +58,13 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         c.nmad.strategy = cfg_.strategy;
         c.nmad.adaptive_split = cfg_.adaptive_split;
         c.nmad.rdv_quantum = cfg_.rdv_quantum;
+        c.nmad.advertise_rdv_load = cfg_.two_ended_rdv;
         c.nmad.rails.clear();
-        for (int r = 0; r < t.num_rails(); ++r) c.nmad.rails.push_back(r);
+        if (auto rr = cfg_.rank_rails.find(p); rr != cfg_.rank_rails.end()) {
+          c.nmad.rails = rr->second;
+        } else {
+          for (int r = 0; r < t.num_rails(); ++r) c.nmad.rails.push_back(r);
+        }
         c.pioman = cfg_.pioman;
         c.bypass = cfg_.bypass;
         transports_.push_back(

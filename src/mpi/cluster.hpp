@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,14 @@ struct ClusterConfig {
   bool adaptive_split = true;  ///< false = naive even multirail split
   /// CostModel: rendezvous chunk cap so the split re-plans while draining.
   std::size_t rdv_quantum = 2_MiB;
+  /// Receiver-directed flow control: CTS grants carry the receiver's per-rail
+  /// ingress load, and the cost model folds it into the split (tentpole of
+  /// the two-ended estimator). false = legacy 16-byte CTS, one-ended model.
+  bool two_ended_rdv = true;
+  /// Per-rank local-rails override (Mpich2Nmad only): rank -> fabric rail
+  /// indices it drives. Ranks not listed drive every rail. Lets benchmarks
+  /// pin interfering traffic to one rail of a multirail node.
+  std::map<int, std::vector<int>> rank_rails;
 
   // baseline knobs
   bool mvapich_rcache = true;

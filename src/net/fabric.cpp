@@ -84,6 +84,12 @@ Time Fabric::egress_busy_until(int node, int rail) const {
   return nics_[static_cast<std::size_t>(node) * topo_.num_rails() + rail].egress.busy_until();
 }
 
+Time Fabric::ingress_busy_until(int node, int rail) const {
+  NMX_ASSERT(node >= 0 && node < topo_.num_nodes);
+  NMX_ASSERT(rail >= 0 && rail < topo_.num_rails());
+  return nics_[static_cast<std::size_t>(node) * topo_.num_rails() + rail].ingress.busy_until();
+}
+
 Time Fabric::uncontended_time(int rail, std::size_t bytes) const {
   const NicProfile& prof = profile(rail);
   return prof.wire_latency + prof.occupancy(bytes);

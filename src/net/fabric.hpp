@@ -83,6 +83,13 @@ class Fabric {
   /// the NIC, which the sender's own queue accounting cannot see.
   Time egress_busy_until(int node, int rail) const;
 
+  /// Absolute time (node, rail)'s *ingress* channel is booked until (<= now
+  /// when idle). Mirrors egress_busy_until for the receive direction: this is
+  /// what a receiver samples at CTS-grant time to advertise its rail load to
+  /// the sender (in-flight arrivals from any peer, including traffic for
+  /// co-located processes sharing the NIC).
+  Time ingress_busy_until(int node, int rail) const;
+
   std::size_t packets_sent() const { return packets_sent_; }
 
  private:

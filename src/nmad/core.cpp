@@ -8,6 +8,13 @@
 
 namespace nmx::nmad {
 
+namespace {
+/// Pseudo-byte weight of the beta-proportional prior in the per-peer arrival
+/// mix (sample_rail_ads): observed landings dominate once a peer has landed
+/// more than this many rendezvous bytes.
+constexpr std::size_t kMixPriorBytes = 256 * 1024;
+}  // namespace
+
 Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int my_proc,
            ExtendedConfig cfg)
     : eng_(eng),
@@ -31,8 +38,10 @@ Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int m
     RailLoad l;
     l.now = eng_.now();
     l.busy_until.reserve(drivers_.size());
+    l.ingress_busy_until.reserve(drivers_.size());
     for (const Driver& d : drivers_) {
       l.busy_until.push_back(fabric_.egress_busy_until(my_node_, d.fabric_rail));
+      l.ingress_busy_until.push_back(fabric_.ingress_busy_until(my_node_, d.fabric_rail));
     }
     return l;
   });
@@ -53,6 +62,13 @@ bool Core::any_rail_needs_registration() const {
     if (fabric_.profile(d.fabric_rail).needs_registration) return true;
   }
   return false;
+}
+
+int Core::local_rail_of(int fabric_rail) const {
+  for (std::size_t r = 0; r < drivers_.size(); ++r) {
+    if (drivers_[r].fabric_rail == fabric_rail) return static_cast<int>(r);
+  }
+  return -1;
 }
 
 // --------------------------------------------------------------------------
@@ -327,6 +343,16 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
       NMX_ASSERT(n.sreq->bytes_outstanding >= n.bytes);
       n.sreq->bytes_outstanding -= n.bytes;
       if (n.sreq->bytes_outstanding == 0) {
+        // Every planned chunk must be gone from the strategy before the
+        // rendezvous is retired — anything still queued here would leak into
+        // the per-rail backlog accounting forever. Drain defensively and
+        // surface the leak instead of silently corrupting the cost model.
+        const std::size_t leaked = strategy_->cancel_rdv(n.sreq->peer, n.sreq->rdv_id);
+        if (leaked > 0) {
+          if (obs::Recorder* rec = eng_.recorder()) {
+            rec->metrics().counter("nmad.sched.cancel_drained_bytes").add(leaked);
+          }
+        }
         rdv_out_.erase(n.sreq->rdv_id);
         complete(*n.sreq);
       }
@@ -345,7 +371,7 @@ void Core::notify_async() {
 // --------------------------------------------------------------------------
 
 void Core::rx_wire(net::WirePacket&& pkt) {
-  pending_rx_.push_back(std::move(std::any_cast<WireMsg&>(pkt.payload)));
+  pending_rx_.push_back(RxItem{pkt.rail, std::move(std::any_cast<WireMsg&>(pkt.payload))});
   if (progress_allowed()) {
     drain_rx();
   } else {
@@ -355,16 +381,17 @@ void Core::rx_wire(net::WirePacket&& pkt) {
 
 void Core::drain_rx() {
   while (!pending_rx_.empty()) {
-    WireMsg m = std::move(pending_rx_.front());
+    RxItem it = std::move(pending_rx_.front());
     pending_rx_.pop_front();
     // Charge the generic-layer receive cost (matching, completion dispatch,
     // PIOMan locking when enabled) per wire message.
-    eng_.schedule_in(cfg_.deliver_overhead(),
-                     [this, m = std::move(m)]() mutable { handle_wire(std::move(m)); });
+    eng_.schedule_in(cfg_.deliver_overhead(), [this, it = std::move(it)]() mutable {
+      handle_wire(it.fabric_rail, std::move(it.msg));
+    });
   }
 }
 
-void Core::handle_wire(WireMsg m) {
+void Core::handle_wire(int fabric_rail, WireMsg m) {
   if (obs::Recorder* rec = eng_.recorder()) {
     rec->instant(eng_.now(), my_proc_, obs::Cat::NmadRx, m.wire_bytes(), m.src_proc);
     rec->metrics().counter("nmad.rx.msgs").add(1);
@@ -378,10 +405,10 @@ void Core::handle_wire(WireMsg m) {
         ingest_ordered(src, std::move(e));
         break;
       case Entry::Kind::Cts:
-        handle_cts(src, e.rdv_id);
+        handle_cts(src, e);
         break;
       case Entry::Kind::RdvChunk:
-        handle_rdv_data(src, e);
+        handle_rdv_data(src, fabric_rail, e);
         break;
     }
   }
@@ -469,6 +496,46 @@ void Core::handle_rts(int src, Entry& e) {
   if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, e.rdv_total});
 }
 
+std::vector<RailAd> Core::sample_rail_ads(int granting_src, std::uint64_t granting_rdv) const {
+  const Time now = eng_.now();
+  std::vector<RailAd> ads(drivers_.size());
+  for (std::size_t r = 0; r < drivers_.size(); ++r) {
+    ads[r].fabric_rail = drivers_[r].fabric_rail;
+    const Time busy = fabric_.ingress_busy_until(my_node_, drivers_[r].fabric_rail);
+    ads[r].busy_delta = busy > now ? busy - now : 0;
+  }
+  // Granted-but-unlanded inbound rendezvous bytes, attributed to rails by
+  // each peer's observed arrival mix (beta-proportional prior until enough
+  // bytes have landed to trust the observation). The rendezvous being granted
+  // is excluded — its bytes are exactly what the sender is about to plan.
+  for (const auto& [key, rin] : rdv_in_) {
+    if (key.first == granting_src && key.second == granting_rdv) continue;
+    const std::size_t outstanding = rin.req != nullptr ? rin.req->bytes_outstanding : 0;
+    if (outstanding == 0) continue;
+    double beta_sum = 0.0;
+    for (const auto& rp : sampling_.rails()) beta_sum += rp.beta;
+    std::vector<double> weight(drivers_.size(), 0.0);
+    double total_w = 0.0;
+    auto git = gates_.find(key.first);
+    for (std::size_t r = 0; r < drivers_.size(); ++r) {
+      // Pseudo-bytes: the prior pretends kMixPriorBytes already landed in
+      // bandwidth proportion, so one early chunk cannot pin the whole mix.
+      double w = static_cast<double>(kMixPriorBytes) * sampling_.rails()[r].beta / beta_sum;
+      if (git != gates_.end() && r < git->second.rdv_rx_by_rail.size()) {
+        w += static_cast<double>(git->second.rdv_rx_by_rail[r]);
+      }
+      weight[r] = w;
+      total_w += w;
+    }
+    if (total_w <= 0.0) continue;
+    for (std::size_t r = 0; r < drivers_.size(); ++r) {
+      ads[r].backlog_bytes +=
+          static_cast<std::uint64_t>(static_cast<double>(outstanding) * weight[r] / total_w);
+    }
+  }
+  return ads;
+}
+
 void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total) {
   NMX_ASSERT_MSG(total <= req->len, "rendezvous message overflows receive buffer");
   req->received = total;  // final size; arrival tracked via rdv_in bytes
@@ -487,6 +554,12 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
     cts.dst_proc = src;
     cts.rdv_id = rdv_id;
     cts.span = span;
+    // Receiver-directed flow control: advertise this end's per-rail ingress
+    // occupancy and granted backlog so the sender's cost model sees both
+    // ends of each rail. Sampled at grant time — by the time the CTS lands
+    // the deltas have decayed, which the sender accounts for by anchoring
+    // them at its own "now".
+    if (cfg_.advertise_rdv_load) cts.rail_ads = sample_rail_ads(src, rdv_id);
     enqueue(std::move(cts));
     kick();
   };
@@ -497,10 +570,22 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
   }
 }
 
-void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
+void Core::handle_cts(int src, Entry& cts) {
+  const std::uint64_t rdv_id = cts.rdv_id;
   auto it = rdv_out_.find(rdv_id);
   NMX_ASSERT_MSG(it != rdv_out_.end(), "CTS for unknown rendezvous");
   Request* req = it->second;
+  // The grant must come from the process the RTS was addressed to: rdv_ids
+  // are sender-scoped, so a CTS echoing our id from anyone else is a
+  // cross-wired grant — start sending and the data lands in the wrong
+  // process's buffer. Fail loudly instead of trusting the id alone.
+  NMX_ASSERT_MSG(src == req->peer,
+                 "cross-wired CTS: grant from proc " + std::to_string(src) +
+                     " for a rendezvous addressed to proc " + std::to_string(req->peer));
+  NMX_ASSERT_MSG(!req->cts_seen,
+                 "duplicate CTS for rendezvous " + std::to_string(rdv_id) +
+                     " (payload would be queued twice)");
+  req->cts_seen = true;
 
   // The CTS closes the sender-side handshake span begun at the RTS post.
   if (obs::Recorder* rec = eng_.recorder()) {
@@ -509,12 +594,28 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
     rec->metrics()
         .histogram("nmad.rdv.handshake_us", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
         .observe((eng_.now() - req->rdv_rts_t) * 1e6);
+    if (!cts.rail_ads.empty()) {
+      rec->metrics().counter("nmad.sched.cts_ads").add(1);
+      for (const RailAd& ad : cts.rail_ads) {
+        const std::string rail_label = "rail=" + std::to_string(ad.fabric_rail);
+        const double busy_us = ad.busy_delta * 1e6;
+        rec->metrics().gauge("nmad.sched.remote_busy_us", rail_label).set(busy_us);
+        rec->metrics()
+            .gauge("nmad.sched.remote_backlog_bytes", rail_label)
+            .set(static_cast<double>(ad.backlog_bytes));
+        rec->sample(eng_.now(), my_proc_, "nmad.sched.remote_busy_us." + rail_label, busy_us);
+        rec->sample(eng_.now(), my_proc_, "nmad.sched.remote_backlog_bytes." + rail_label,
+                    static_cast<double>(ad.backlog_bytes));
+      }
+    }
   }
 
   req->bytes_outstanding = req->len;
 
   // Cost-model strategies carve the payload into chunks themselves, re-solving
-  // the split per chunk as rails drain; hand them the whole payload unplanned.
+  // the split per chunk as rails drain; hand them the whole payload unplanned,
+  // along with the receiver's load advertisement so each re-solve folds in the
+  // far end of every rail.
   if (strategy_->plans_rdv_chunks()) {
     Entry e;
     e.kind = Entry::Kind::RdvChunk;
@@ -525,6 +626,7 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
     e.bytes.assign(req->sbuf, req->sbuf + req->len);
     e.sreq = req;
     e.span = req->span;
+    if (cfg_.advertise_rdv_load) e.rail_ads = std::move(cts.rail_ads);
     enqueue(std::move(e));
     kick();
     return;
@@ -551,13 +653,27 @@ void Core::handle_cts(int /*src*/, std::uint64_t rdv_id) {
   kick();
 }
 
-void Core::handle_rdv_data(int src, Entry& e) {
+void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
   auto it = rdv_in_.find({src, e.rdv_id});
   NMX_ASSERT_MSG(it != rdv_in_.end(), "rendezvous data without matching grant");
   Request* req = it->second.req;
+  // Feed the per-peer arrival mix that attributes granted-but-unlanded bytes
+  // to rails in future CTS load advertisements.
+  GateState& g = gate(src);
+  if (g.rdv_rx_by_rail.size() < drivers_.size()) g.rdv_rx_by_rail.resize(drivers_.size(), 0);
+  const int lr = local_rail_of(fabric_rail);
+  if (lr >= 0) g.rdv_rx_by_rail[static_cast<std::size_t>(lr)] += e.bytes.size();
   if (obs::Recorder* rec = eng_.recorder()) {
     rec->instant(eng_.now(), my_proc_, obs::Cat::RdvData, e.bytes.size(),
                  static_cast<std::int64_t>(e.span));
+    // Close the two-ended prediction loop: the sender stamped its predicted
+    // arrival on the chunk; the receiver measures the miss at landing.
+    if (e.pred_arrival > 0) {
+      rec->metrics()
+          .histogram("nmad.sched.remote_pred_error_us",
+                     {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500})
+          .observe(std::abs(eng_.now() - e.pred_arrival) * 1e6);
+    }
   }
   NMX_ASSERT(e.offset + e.bytes.size() <= req->len);
   if (!e.bytes.empty()) std::memcpy(req->rbuf + e.offset, e.bytes.data(), e.bytes.size());

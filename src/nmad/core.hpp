@@ -137,6 +137,10 @@ class Core {
     std::map<std::pair<Tag, std::uint32_t>, PendingIngest> out_of_order;
     std::unordered_map<Tag, std::deque<Request*>> posted;
     std::unordered_map<Tag, std::deque<Unexpected>> unexpected;
+    /// Rendezvous bytes from this peer that landed per local rail — the
+    /// observed arrival mix used to attribute granted-but-unlanded bytes to
+    /// rails in the CTS load advertisement (empty until first chunk lands).
+    std::vector<std::size_t> rdv_rx_by_rail;
   };
 
   struct RdvIn {
@@ -170,17 +174,24 @@ class Core {
   void on_egress(int local_rail, std::vector<Note> notes);
   void rx_wire(net::WirePacket&& pkt);
   void drain_rx();
-  void handle_wire(WireMsg m);
+  void handle_wire(int fabric_rail, WireMsg m);
   void ingest_ordered(int src, Entry e);
   void ingest(int src, Entry& e);
   void deliver_eager(int src, Entry& e);
   void handle_rts(int src, Entry& e);
-  void handle_cts(int src, std::uint64_t rdv_id);
-  void handle_rdv_data(int src, Entry& e);
+  void handle_cts(int src, Entry& cts);
+  void handle_rdv_data(int src, int fabric_rail, Entry& e);
   void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total);
   void complete(Request& r);
   void notify_async();
   bool any_rail_needs_registration() const;
+  /// Local rail index driving `fabric_rail`, or -1 when this core does not
+  /// drive it (heterogeneous per-process rail bindings).
+  int local_rail_of(int fabric_rail) const;
+  /// The receiver's per-rail load advertisement for a CTS grant: ingress
+  /// occupancy past "now" plus granted-but-unlanded inbound bytes (excluding
+  /// the rendezvous being granted, which the sender accounts for itself).
+  std::vector<RailAd> sample_rail_ads(int granting_src, std::uint64_t granting_rdv) const;
 
   sim::Engine& eng_;
   net::Fabric& fabric_;
@@ -196,7 +207,11 @@ class Core {
   std::unordered_map<std::uint64_t, Request*> rdv_out_;  ///< rdv_id -> send req
   std::map<std::pair<int, std::uint64_t>, RdvIn> rdv_in_;
 
-  std::deque<WireMsg> pending_rx_;
+  struct RxItem {
+    int fabric_rail = -1;  ///< rail the packet arrived on (for the rx mix)
+    WireMsg msg;
+  };
+  std::deque<RxItem> pending_rx_;
   bool pending_flush_ = false;
   int progress_depth_ = 0;
 

@@ -83,6 +83,16 @@ std::vector<std::size_t> Sampling::split_with_ready(std::size_t len, std::size_t
   return solve_split(len, min_chunk, ready, best);
 }
 
+std::vector<std::size_t> Sampling::split_two_ended(std::size_t len, std::size_t min_chunk,
+                                                   const std::vector<Time>& local,
+                                                   const std::vector<Time>& remote) const {
+  NMX_ASSERT(local.size() == rails_.size());
+  NMX_ASSERT(remote.size() == rails_.size());
+  std::vector<Time> ready(rails_.size());
+  for (std::size_t i = 0; i < rails_.size(); ++i) ready[i] = std::max(local[i], remote[i]);
+  return split_with_ready(len, min_chunk, ready);
+}
+
 std::vector<std::size_t> Sampling::solve_split(std::size_t len, std::size_t min_chunk,
                                                const std::vector<Time>& ready,
                                                int small_rail) const {

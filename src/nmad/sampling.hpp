@@ -79,6 +79,17 @@ class Sampling {
   std::vector<std::size_t> split_with_ready(std::size_t len, std::size_t min_chunk,
                                             const std::vector<Time>& ready) const;
 
+  /// Two-ended split: rail `r` cannot start before the *later* of the local
+  /// egress ready time `local[r]` and the receiver-advertised ingress ready
+  /// time `remote[r]` (both relative to now). A rail whose ingress is booked
+  /// at the far end behaves exactly like a locally backlogged rail — the
+  /// element-wise max folds both ends into one equal-finish solve. With
+  /// all-zero `remote` this degenerates to split_with_ready (the one-ended
+  /// model).
+  std::vector<std::size_t> split_two_ended(std::size_t len, std::size_t min_chunk,
+                                           const std::vector<Time>& local,
+                                           const std::vector<Time>& remote) const;
+
   /// Fixed even split over all rails — the naive policy the adaptive ratio
   /// is compared against in bench/abl_splitratio.
   std::vector<std::size_t> split_even(std::size_t len) const;

@@ -85,6 +85,25 @@ class QueuedStrategy : public Strategy {
     return backlog_.at(static_cast<std::size_t>(rail));
   }
 
+  std::size_t cancel_rdv(int dst, std::uint64_t rdv_id) override {
+    std::size_t dropped = 0;
+    for (auto& [key, q] : queues_) {
+      if (key.second != dst) continue;
+      auto& backlog = backlog_[static_cast<std::size_t>(key.first)];
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->kind == Entry::Kind::RdvChunk && it->rdv_id == rdv_id) {
+          backlog -= std::min(backlog, it->wire_bytes());
+          dropped += it->bytes.size();
+          it = q.erase(it);
+          --pending_;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return dropped;
+  }
+
  protected:
   /// Rail a non-rendezvous entry is queued on. The paper's default: "choose
   /// the fastest network for small messages" (§4.1.1).
@@ -155,6 +174,24 @@ class StratCostModel final : public QueuedStrategy {
       job.span = e.span;
       job.sreq = e.sreq;
       job.bytes = std::move(e.bytes);
+      // Receiver load advertised in the CTS grant: convert each rail's
+      // (busy_delta, backlog) into an absolute "ingress free at" estimate.
+      // The advertised backlog drains at the rail's bandwidth, so the whole
+      // advert collapses into one time horizon that decays naturally as the
+      // transfer proceeds — no per-chunk re-advertisement needed.
+      if (!e.rail_ads.empty()) {
+        const Time now = load(sampling_.num_rails()).now;
+        job.remote_free_abs.assign(sampling_.num_rails(), now);
+        for (std::size_t r = 0; r < sampling_.num_rails(); ++r) {
+          for (const RailAd& ad : e.rail_ads) {
+            if (ad.fabric_rail != sampling_.rails()[r].fabric_rail) continue;
+            job.remote_free_abs[r] = now + ad.busy_delta +
+                                     static_cast<double>(ad.backlog_bytes) /
+                                         sampling_.rails()[r].beta;
+            break;
+          }
+        }
+      }
       rdv_backlog_ += job.bytes.size();
       jobs_.push_back(std::move(job));
       return;
@@ -171,7 +208,7 @@ class StratCostModel final : public QueuedStrategy {
   bool pending() const override { return QueuedStrategy::pending() || !jobs_.empty(); }
 
   std::vector<std::size_t> plan_rdv(std::size_t len) const override {
-    return sampling_.split_with_ready(len, opts_.min_split_chunk, rail_ready());
+    return sampling_.split_with_ready(len, opts_.min_split_chunk, rail_ready().ready);
   }
 
   std::size_t rdv_backlog_bytes() const override { return rdv_backlog_; }
@@ -179,9 +216,24 @@ class StratCostModel final : public QueuedStrategy {
     return steals_.at(static_cast<std::size_t>(rail));
   }
 
+  std::size_t cancel_rdv(int dst, std::uint64_t rdv_id) override {
+    std::size_t dropped = QueuedStrategy::cancel_rdv(dst, rdv_id);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->dst == dst && it->rdv_id == rdv_id) {
+        const std::size_t rest = it->bytes.size() - it->consumed;
+        rdv_backlog_ -= std::min(rdv_backlog_, rest);
+        dropped += rest;
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
  protected:
   int pick_rail(const Entry& e) override {
-    const std::vector<Time> ready = rail_ready();
+    const std::vector<Time> ready = rail_ready().ready;
     int best = 0;
     Time best_t = sampling_.completion(0, e.wire_bytes(), ready[0]);
     for (std::size_t r = 1; r < ready.size(); ++r) {
@@ -204,27 +256,52 @@ class StratCostModel final : public QueuedStrategy {
     std::uint64_t span = 0;
     Request* sreq = nullptr;
     std::vector<std::byte> bytes;
+    /// Per local rail: absolute time the *receiver's* ingress is estimated
+    /// free, from the CTS load advert (empty = no advert, one-ended model).
+    std::vector<Time> remote_free_abs;
+  };
+
+  struct ReadyState {
+    Time now = 0;
+    std::vector<Time> ready;  ///< earliest start per rail, relative to now
   };
 
   /// Earliest start time per rail, relative to now: live NIC occupancy from
   /// the probe plus the transfer time of wire bytes already queued here.
-  std::vector<Time> rail_ready() const {
+  ReadyState rail_ready() const {
     const RailLoad l = load(sampling_.num_rails());
-    std::vector<Time> ready(sampling_.num_rails(), 0.0);
-    for (std::size_t r = 0; r < ready.size(); ++r) {
-      ready[r] = std::max(0.0, l.busy_until[r] - l.now) +
-                 static_cast<double>(backlog_bytes(static_cast<int>(r))) /
-                     sampling_.rails()[r].beta;
+    ReadyState rs;
+    rs.now = l.now;
+    rs.ready.assign(sampling_.num_rails(), 0.0);
+    for (std::size_t r = 0; r < rs.ready.size(); ++r) {
+      rs.ready[r] = std::max(0.0, l.busy_until[r] - l.now) +
+                    static_cast<double>(backlog_bytes(static_cast<int>(r))) /
+                        sampling_.rails()[r].beta;
     }
-    return ready;
+    return rs;
+  }
+
+  /// Receiver-side ready times for `job`, relative to `now`. Decays to zero
+  /// as the advertised horizon passes.
+  std::vector<Time> remote_ready(const RdvJob& job, Time now) const {
+    std::vector<Time> remote(sampling_.num_rails(), 0.0);
+    for (std::size_t r = 0; r < job.remote_free_abs.size() && r < remote.size(); ++r) {
+      remote[r] = std::max(0.0, job.remote_free_abs[r] - now);
+    }
+    return remote;
   }
 
   std::optional<WireMsg> next_rdv_chunk(int rail, int src_proc) {
+    const ReadyState rs = rail_ready();
     for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
       RdvJob& job = *it;
       const std::size_t remaining = job.bytes.size() - job.consumed;
+      // Two-ended re-solve: the receiver's advertised ingress availability is
+      // folded in element-wise with the local egress view, so a rail whose
+      // far end is hammered sheds its share even when it looks idle here.
+      const std::vector<Time> remote = remote_ready(job, rs.now);
       const std::vector<std::size_t> shares =
-          sampling_.split_with_ready(remaining, opts_.min_split_chunk, rail_ready());
+          sampling_.split_two_ended(remaining, opts_.min_split_chunk, rs.ready, remote);
       std::size_t take = shares[static_cast<std::size_t>(rail)];
       if (take == 0) continue;  // this rail is not worth using for this job now
       if (opts_.rdv_quantum > 0) take = std::min(take, opts_.rdv_quantum);
@@ -237,6 +314,13 @@ class StratCostModel final : public QueuedStrategy {
       e.rail = rail;
       e.span = job.span;
       e.sreq = job.sreq;
+      // Two-ended arrival estimate for this chunk, checked by the receiver
+      // against the actual landing time (nmad.sched.remote_pred_error_us).
+      e.pred_arrival =
+          rs.now +
+          std::max(rs.ready[static_cast<std::size_t>(rail)],
+                   remote[static_cast<std::size_t>(rail)]) +
+          sampling_.predict(rail, take + Entry::kRdvChunkHeader);
       e.bytes.assign(job.bytes.begin() + static_cast<std::ptrdiff_t>(job.consumed),
                      job.bytes.begin() + static_cast<std::ptrdiff_t>(job.consumed + take));
       job.consumed += take;

@@ -40,6 +40,11 @@ namespace nmx::nmad {
 struct RailLoad {
   Time now = 0;
   std::vector<Time> busy_until;
+  /// Absolute time each local rail's *ingress* channel is booked until — the
+  /// receive-direction mirror of busy_until. Strategies never read this for
+  /// egress decisions; the core samples it (through the same probe) when it
+  /// builds a CTS load advertisement. May be empty for egress-only probes.
+  std::vector<Time> ingress_busy_until;
 };
 using LoadProbe = std::function<RailLoad()>;
 
@@ -70,6 +75,13 @@ class Strategy {
   /// True when the strategy carves rendezvous payloads into chunks itself;
   /// the core then enqueues one unplanned RdvChunk instead of pre-splitting.
   virtual bool plans_rdv_chunks() const { return false; }
+
+  /// Drop every queued chunk (and any held unplanned job) belonging to
+  /// rendezvous `rdv_id` toward `dst`, fixing the per-rail and rendezvous
+  /// backlog accounting. Returns the payload bytes dropped. This is the
+  /// error/cancel drain: a rendezvous the core abandons must not leave
+  /// phantom bytes inflating the cost model's view of a rail forever.
+  virtual std::size_t cancel_rdv(int dst, std::uint64_t rdv_id) = 0;
 
   // --- introspection (cost-model metrics read these; 0 when untracked) ----
 

@@ -61,6 +61,10 @@ struct Request {
   /// strategies may carve the payload into any number of chunks.
   std::size_t bytes_outstanding = 0;
   std::uint64_t rdv_id = 0;  ///< nonzero while in rendezvous
+  /// Sender side: set when the CTS grant arrives. A second CTS for the same
+  /// rendezvous (duplicate or cross-wired) is a protocol violation — the data
+  /// phase must not be restarted.
+  bool cts_seen = false;
 
   // observability (obs/recorder.hpp): spans threaded through the stack
   std::uint64_t span = 0;      ///< upper-layer message-lifecycle span id
@@ -86,6 +90,12 @@ struct Config {
   /// PIOMan integration: thread-safe request lists + driver locks cost ~2µs
   /// per message (§4.1.2), charged half on injection, half on completion.
   bool pioman_sync = false;
+  /// Receiver-directed flow control: advertise this core's per-rail ingress
+  /// load in every CTS grant (RailAd vector) so load-aware senders solve the
+  /// rendezvous split for both ends of the transfer. Costs
+  /// RailAd::kWireSize bytes per rail on each CTS. Off = 16-byte legacy CTS,
+  /// senders fall back to the one-ended (egress-only) cost model.
+  bool advertise_rdv_load = true;
 
   Time inject_overhead() const {
     return sw_send + (pioman_sync ? calib::kPiomanNetOverhead / 2 : 0.0);

@@ -15,9 +15,35 @@
 
 namespace nmx::nmad {
 
+/// One rail's receiver-side load advertisement, carried in the CTS grant so
+/// the sender's cost model can account for *both* ends of the transfer. The
+/// receiver samples these at grant time: how long its ingress channel is
+/// already booked past "now" on this rail, plus how many rendezvous bytes it
+/// has granted to other senders that have not landed yet (attributed to
+/// rails by the observed per-peer arrival mix).
+struct RailAd {
+  int fabric_rail = -1;            ///< fabric rail index (receiver and sender
+                                   ///< may drive different local subsets)
+  Time busy_delta = 0;             ///< ingress booked this far past grant time
+  std::uint64_t backlog_bytes = 0; ///< granted inbound bytes expected here
+  /// Serialized size: rail id (4) + busy delta (8) + backlog (8).
+  static constexpr std::size_t kWireSize = 4 + 8 + 8;
+};
+
 /// One protocol unit queued toward a destination.
 struct Entry {
   enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk };
+  static constexpr int kNumKinds = 4;
+
+  /// Fixed header cost per kind, excluding variable-length payload fields.
+  /// Eager/RdvChunk: kind + dst + tag + seq/offset bookkeeping packed in 16.
+  /// Rts: adds rdv id + total size + matching info (32).
+  /// Cts: base grant (rdv id + ack) — the per-rail load vector is charged on
+  /// top via header_bytes(), see RailAd::kWireSize.
+  static constexpr std::size_t kEagerHeader = 16;
+  static constexpr std::size_t kRtsHeader = 32;
+  static constexpr std::size_t kCtsHeaderBase = 16;
+  static constexpr std::size_t kRdvChunkHeader = 16;
 
   Kind kind = Kind::Eager;
   int dst_proc = -1;
@@ -29,19 +55,31 @@ struct Entry {
   std::size_t rdv_total = 0;    ///< Rts: full message size
   std::size_t offset = 0;       ///< RdvChunk: position in the message
   std::vector<std::byte> bytes; ///< Eager payload or RdvChunk data
+  /// Cts: the receiver's per-rail load advertisement (empty when the
+  /// receiver does not advertise). Also rides the internal unplanned-RdvChunk
+  /// hand-off from the core to chunk-planning strategies; never serialized
+  /// for other kinds.
+  std::vector<RailAd> rail_ads;
   Request* sreq = nullptr;      ///< sender request to progress at egress
   int rail = 0;                 ///< local rail, assigned by the strategy
   std::uint64_t span = 0;       ///< message-lifecycle span this entry belongs to
+  /// RdvChunk diagnostic (not charged on the wire, like span/sreq): the
+  /// sender's predicted arrival time of this chunk at the receiver, from the
+  /// two-ended estimator. The receiver compares it against the actual landing
+  /// time (nmad.sched.remote_pred_error_us). 0 = not stamped.
+  Time pred_arrival = 0;
 
-  /// Header cost of this entry on the wire.
+  /// Header cost of this entry on the wire, derived from the fields the kind
+  /// actually carries (tests/wire_test.cpp checks every kind against its
+  /// field layout).
   std::size_t header_bytes() const {
     switch (kind) {
-      case Kind::Eager: return 16;
-      case Kind::Rts: return 32;
-      case Kind::Cts: return 16;
-      case Kind::RdvChunk: return 16;
+      case Kind::Eager: return kEagerHeader;
+      case Kind::Rts: return kRtsHeader;
+      case Kind::Cts: return kCtsHeaderBase + rail_ads.size() * RailAd::kWireSize;
+      case Kind::RdvChunk: return kRdvChunkHeader;
     }
-    return 16;
+    return kEagerHeader;
   }
   std::size_t wire_bytes() const { return header_bytes() + bytes.size(); }
 };

@@ -499,5 +499,109 @@ TEST_F(CoreFixture, ZeroByteMessageCompletes) {
   EXPECT_EQ(rr->received, 0u);
 }
 
+TEST_F(CoreFixture, LegacyCtsPathStillCompletesRendezvous) {
+  // advertise_rdv_load=false: the grant is the historical 16-byte CTS and the
+  // sender falls back to the one-ended split. Data must still flow.
+  cfg.advertise_rdv_load = false;
+  make_cores(StrategyKind::CostModel, {0, 1});
+  const std::size_t big = 1_MiB;
+  auto msg = pattern(big, 21);
+  std::vector<std::byte> dst(big);
+  Request* rr = b->irecv(0, 9, dst.data(), dst.size());
+  Request* sr = a->isend(1, 9, msg.data(), msg.size());
+  eng.run();
+  EXPECT_TRUE(sr->completed && rr->completed);
+  EXPECT_EQ(dst, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous hardening: the CTS grant must come from the RTS destination and
+// must arrive at most once. Pre-fix, handle_cts matched on rdv_id alone, so a
+// grant echoed by the wrong process (or replayed) started the payload toward
+// whoever asked — data in the wrong buffer, double-queued chunks.
+// ---------------------------------------------------------------------------
+
+struct RdvHardeningFixture : ::testing::Test {
+  sim::Engine eng;
+  // Three procs on three nodes so a third party can forge grants.
+  net::Topology topo = net::Topology::blocked(3, 3, {net::ib_profile()});
+  net::Fabric fabric{eng, topo};
+  net::ProcRouter router0{fabric, 0};
+  net::ProcRouter router1{fabric, 1};
+  net::ProcRouter router2{fabric, 2};
+  Core::ExtendedConfig cfg;
+  std::unique_ptr<Core> a;  // proc 0: rendezvous sender under attack
+  std::unique_ptr<Core> b;  // proc 1: the legitimate destination
+  std::unique_ptr<Core> c;  // proc 2: bystander
+
+  void make_cores() {
+    cfg.rails = {0};
+    a = std::make_unique<Core>(eng, fabric, router0, 0, cfg);
+    b = std::make_unique<Core>(eng, fabric, router1, 1, cfg);
+    c = std::make_unique<Core>(eng, fabric, router2, 2, cfg);
+    a->enter_progress();
+    b->enter_progress();
+    c->enter_progress();
+  }
+
+  /// Inject a forged CTS claiming to grant rendezvous `rdv_id`, sent by
+  /// `src_proc` to proc 0 — bypassing any Core so the wire contents are
+  /// entirely under the test's control.
+  void forge_cts(int src_proc, std::uint64_t rdv_id) {
+    WireMsg wm;
+    wm.src_proc = src_proc;
+    wm.dst_proc = 0;
+    Entry cts;
+    cts.kind = Entry::Kind::Cts;
+    cts.dst_proc = 0;
+    cts.rdv_id = rdv_id;
+    wm.entries.push_back(std::move(cts));
+    net::WirePacket pkt;
+    pkt.src_node = topo.node_of(src_proc);
+    pkt.dst_node = topo.node_of(0);
+    pkt.dst_proc = 0;
+    pkt.rail = 0;
+    pkt.bytes = wm.wire_bytes();
+    pkt.payload = std::move(wm);
+    fabric.transmit(std::move(pkt));
+  }
+
+  std::string run_expecting_assert() {
+    try {
+      eng.run();
+    } catch (const AssertionError& err) {
+      return err.message;
+    }
+    return {};
+  }
+};
+
+TEST_F(RdvHardeningFixture, CrossWiredCtsFailsLoudly) {
+  make_cores();
+  // RTS toward proc 1; no recv is posted there, so no legitimate grant exists.
+  std::vector<std::byte> msg(128_KiB);
+  Request* sr = a->isend(1, 9, msg.data(), msg.size());
+  eng.run();
+  ASSERT_FALSE(sr->completed);
+  // Proc 2 echoes the (guessable, sender-scoped) rendezvous id.
+  forge_cts(/*src_proc=*/2, sr->rdv_id);
+  const std::string what = run_expecting_assert();
+  EXPECT_NE(what.find("cross-wired"), std::string::npos) << what;
+}
+
+TEST_F(RdvHardeningFixture, DuplicateCtsFailsLoudly) {
+  make_cores();
+  std::vector<std::byte> msg(128_KiB);
+  Request* sr = a->isend(1, 9, msg.data(), msg.size());
+  eng.run();
+  ASSERT_FALSE(sr->completed);
+  // Two grants from the right peer: the first is accepted and starts the
+  // payload; the replay must be rejected before it double-queues the bytes.
+  forge_cts(/*src_proc=*/1, sr->rdv_id);
+  forge_cts(/*src_proc=*/1, sr->rdv_id);
+  const std::string what = run_expecting_assert();
+  EXPECT_NE(what.find("duplicate CTS"), std::string::npos) << what;
+}
+
 }  // namespace
 }  // namespace nmx::nmad

@@ -205,6 +205,36 @@ TEST(SidecarMetrics, Fig6PiomanSidecarRecordsProgressPasses) {
   EXPECT_GT(*passes, 0.0);
 }
 
+TEST(SidecarMetrics, TwoEndedCtsAdvertisementShowsUpInSidecar) {
+  // The sidecar workload's 256 KiB isend crosses the rendezvous threshold, so
+  // with the cost model + two-ended grants every CTS must carry a per-rail
+  // load advertisement and every carved chunk a checked arrival prediction.
+  mpi::ClusterConfig cfg =
+      two_nodes(mpi::StackKind::Mpich2Nmad, {net::ib_profile(), net::mx_profile()});
+  cfg.strategy = nmad::StrategyKind::CostModel;
+  cfg.two_ended_rdv = true;
+  ASSERT_GT(harness::run_traced_sidecar(cfg, "shape_cts_ads_sidecar"), 0u);
+  const std::string csv = "shape_cts_ads_sidecar.metrics.csv";
+
+  const auto ads = read_metric(csv, "counter", "nmad.sched.cts_ads", "", "value");
+  ASSERT_TRUE(ads.has_value()) << "rendezvous ran but no CTS carried a load advertisement";
+  EXPECT_GT(*ads, 0.0);
+  // One gauge pair per advertised rail, labelled by fabric rail index. An
+  // idle receiver legitimately advertises zeros — existence is the claim.
+  for (int r = 0; r < 2; ++r) {
+    const std::string label = "rail=" + std::to_string(r);
+    EXPECT_TRUE(read_metric(csv, "gauge", "nmad.sched.remote_busy_us", label, "last").has_value())
+        << "missing busy advertisement for " << label;
+    EXPECT_TRUE(
+        read_metric(csv, "gauge", "nmad.sched.remote_backlog_bytes", label, "last").has_value())
+        << "missing backlog advertisement for " << label;
+  }
+  const auto preds =
+      read_metric(csv, "hist", "nmad.sched.remote_pred_error_us", "", "count");
+  ASSERT_TRUE(preds.has_value()) << "no chunk carried a two-ended arrival prediction";
+  EXPECT_GT(*preds, 0.0);
+}
+
 // --- Cost-model scheduler (ablation shape) ----------------------------------
 // Mirrors bench/abl_costmodel.cc: a rendezvous foreground stream plus a
 // co-located eager injection storm over shared NICs. The load-aware cost

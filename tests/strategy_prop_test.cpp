@@ -255,5 +255,177 @@ TEST(CostModelPrediction, EgressFittedAlphaRemovesWireLatencyOffset) {
                           << "us — wire-latency offset is back in the estimator";
 }
 
+// Two-ended scenario: two equal rails, but the receiver advertises (via the
+// CTS rail_ads riding the unplanned-job hand-off) that rail 0's ingress is
+// booked far beyond the whole transfer. A one-ended solve would split the
+// payload roughly evenly; the two-ended solve must shed rail 0 entirely and
+// push every byte through the receiver-quiet rail — while still conserving
+// bytes exactly once with a contiguous cover.
+TEST(TwoEndedSplit, ReceiverSaturatedRailShedsItsShare) {
+  std::vector<nmad::RailPerf> perfs(2);
+  for (int r = 0; r < 2; ++r) {
+    perfs[static_cast<std::size_t>(r)].fabric_rail = r;
+    perfs[static_cast<std::size_t>(r)].alpha = 2e-6;
+    perfs[static_cast<std::size_t>(r)].beta = 1e9;
+  }
+  nmad::Sampling sampling(perfs);
+  nmad::StrategyOptions opts;
+  opts.min_split_chunk = 1_KiB;
+  opts.rdv_quantum = 4_KiB;
+
+  auto drain = [&](const std::vector<nmad::RailAd>& ads, std::size_t len,
+                   std::vector<std::size_t>& per_rail) {
+    auto strat = nmad::make_strategy(nmad::StrategyKind::CostModel, sampling, opts);
+    nmad::Entry e;
+    e.kind = nmad::Entry::Kind::RdvChunk;
+    e.dst_proc = 1;
+    e.rdv_id = 7;
+    e.offset = 0;
+    e.rail = -1;  // unplanned: the strategy carves chunks itself
+    e.rail_ads = ads;
+    e.bytes.resize(len);
+    strat->enqueue(std::move(e));
+    EXPECT_EQ(strat->rdv_backlog_bytes(), len);
+
+    per_rail.assign(2, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> cover;
+    while (strat->pending()) {
+      bool progress = false;
+      // One chunk per rail per sweep — the core asks for the next wire
+      // message as each NIC frees, so rails alternate instead of one rail
+      // monopolizing the carve loop.
+      for (int r = 0; r < 2; ++r) {
+        if (auto wm = strat->next(r, /*src=*/0)) {
+          progress = true;
+          for (const nmad::Entry& c : wm->entries) {
+            ASSERT_EQ(c.kind, nmad::Entry::Kind::RdvChunk);
+            per_rail[static_cast<std::size_t>(r)] += c.bytes.size();
+            cover.emplace_back(c.offset, c.bytes.size());
+          }
+        }
+      }
+      ASSERT_TRUE(progress) << "two-ended solve stalled with bytes pending";
+    }
+    // Exactly-once, contiguous, byte-conserving.
+    std::sort(cover.begin(), cover.end());
+    std::size_t cursor = 0;
+    for (const auto& [off, n] : cover) {
+      EXPECT_EQ(off, cursor) << "gap or overlap in the carved chunks";
+      cursor = off + n;
+    }
+    EXPECT_EQ(cursor, len);
+    EXPECT_EQ(strat->rdv_backlog_bytes(), 0u);
+  };
+
+  constexpr std::size_t kLen = 256_KiB;
+  // Baseline: no advertisement — equal rails share the payload.
+  std::vector<std::size_t> even;
+  drain({}, kLen, even);
+  EXPECT_GT(even[0], 0u) << "one-ended split should use both equal rails";
+  EXPECT_GT(even[1], 0u);
+
+  // Rail 0's far end booked for a full second (orders of magnitude beyond the
+  // ~260us transfer): every byte must shift to the receiver-quiet rail 1.
+  std::vector<std::size_t> shed;
+  drain({nmad::RailAd{/*fabric_rail=*/0, /*busy_delta=*/1.0, /*backlog_bytes=*/0}}, kLen, shed);
+  EXPECT_EQ(shed[0], 0u) << "receiver-saturated rail still carried payload";
+  EXPECT_EQ(shed[1], kLen);
+
+  // Same outcome when the saturation is expressed as backlog instead of a
+  // busy horizon (1 GiB queued at 1e9 B/s ~= 1.07s of drain time).
+  std::vector<std::size_t> shed2;
+  drain({nmad::RailAd{0, 0.0, 1u << 30}}, kLen, shed2);
+  EXPECT_EQ(shed2[0], 0u);
+  EXPECT_EQ(shed2[1], kLen);
+}
+
+// cancel_rdv accounting (bugfix b): abandoning a rendezvous mid-drain must
+// drop the held job *and* any already-planned chunks, returning the backlog
+// to zero — phantom bytes here would permanently skew the cost model's view
+// of the rail. Unrelated traffic must survive the cancel untouched.
+TEST(CancelRdv, DrainsHeldJobAndPlannedChunksToZeroBacklog) {
+  std::vector<nmad::RailPerf> perfs(2);
+  for (int r = 0; r < 2; ++r) {
+    perfs[static_cast<std::size_t>(r)].fabric_rail = r;
+    perfs[static_cast<std::size_t>(r)].alpha = 2e-6;
+    perfs[static_cast<std::size_t>(r)].beta = 1e9;
+  }
+  nmad::Sampling sampling(perfs);
+  nmad::StrategyOptions opts;
+  opts.min_split_chunk = 1_KiB;
+  opts.rdv_quantum = 4_KiB;
+
+  {  // CostModel: unplanned job, partially carved, then cancelled.
+    auto strat = nmad::make_strategy(nmad::StrategyKind::CostModel, sampling, opts);
+    constexpr std::size_t kLen = 64_KiB;
+    nmad::Entry e;
+    e.kind = nmad::Entry::Kind::RdvChunk;
+    e.dst_proc = 1;
+    e.rdv_id = 9;
+    e.offset = 0;
+    e.rail = -1;
+    e.bytes.resize(kLen);
+    strat->enqueue(std::move(e));
+
+    const auto wm = strat->next(0, /*src=*/0);  // carve one chunk first
+    ASSERT_TRUE(wm.has_value());
+    const std::size_t carved = wm->entries.front().bytes.size();
+    ASSERT_GT(carved, 0u);
+    ASSERT_LT(carved, kLen);
+    EXPECT_EQ(strat->rdv_backlog_bytes(), kLen - carved);
+
+    EXPECT_EQ(strat->cancel_rdv(/*dst=*/1, /*rdv_id=*/9), kLen - carved);
+    EXPECT_EQ(strat->rdv_backlog_bytes(), 0u);
+    EXPECT_FALSE(strat->pending());
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(strat->backlog_bytes(r), 0u);
+      EXPECT_FALSE(strat->next(r, 0).has_value());
+    }
+    // Cancelling an unknown rendezvous is a no-op, not an accounting error.
+    EXPECT_EQ(strat->cancel_rdv(1, 9), 0u);
+  }
+
+  {  // SplitBalance: pre-planned chunks sitting in the rail queues.
+    auto strat = nmad::make_strategy(nmad::StrategyKind::SplitBalance, sampling, opts);
+    constexpr std::size_t kLen = 128_KiB;
+    const std::vector<std::size_t> shares = strat->plan_rdv(kLen);
+    std::size_t off = 0;
+    for (std::size_t r = 0; r < shares.size(); ++r) {
+      if (shares[r] == 0) continue;
+      nmad::Entry c;
+      c.kind = nmad::Entry::Kind::RdvChunk;
+      c.dst_proc = 2;
+      c.rdv_id = 11;
+      c.offset = off;
+      c.rail = static_cast<int>(r);
+      c.bytes.resize(shares[r]);
+      off += shares[r];
+      strat->enqueue(std::move(c));
+    }
+    ASSERT_EQ(off, kLen);
+    // An unrelated eager message to the same destination must survive.
+    nmad::Entry keep;
+    keep.kind = nmad::Entry::Kind::Eager;
+    keep.dst_proc = 2;
+    keep.tag = 3;
+    keep.bytes.resize(256);
+    strat->enqueue(std::move(keep));
+
+    EXPECT_EQ(strat->cancel_rdv(/*dst=*/2, /*rdv_id=*/11), kLen);
+    std::size_t eager_seen = 0;
+    for (int r = 0; r < 2; ++r) {
+      while (auto wm = strat->next(r, 0)) {
+        for (const nmad::Entry& x : wm->entries) {
+          EXPECT_NE(x.kind, nmad::Entry::Kind::RdvChunk) << "cancelled chunk still emitted";
+          if (x.kind == nmad::Entry::Kind::Eager) ++eager_seen;
+        }
+      }
+      EXPECT_EQ(strat->backlog_bytes(r), 0u);
+    }
+    EXPECT_EQ(eager_seen, 1u) << "cancel_rdv must not drop unrelated traffic";
+    EXPECT_FALSE(strat->pending());
+  }
+}
+
 }  // namespace
 }  // namespace nmx

@@ -1,0 +1,87 @@
+// Wire-format accounting: every Entry kind's header cost must match the
+// fields that kind actually carries. The CTS in particular is no longer a
+// fixed 16 bytes — it grows by RailAd::kWireSize per advertised rail, and a
+// hard-coded size here silently mis-charges every rendezvous handshake.
+#include <gtest/gtest.h>
+
+#include "nmad/wire.hpp"
+
+namespace {
+
+using namespace nmx;
+using nmad::Entry;
+using nmad::RailAd;
+using nmad::WireMsg;
+
+TEST(WireFormat, EveryKindHeaderMatchesItsFieldLayout) {
+  static_assert(Entry::kNumKinds == 4, "new Kind added: extend this test");
+  // Eager and RdvChunk pack their matching info (kind + dst + tag + seq,
+  // resp. kind + dst + rdv id + offset) into the same 16-byte budget.
+  EXPECT_EQ(Entry::kEagerHeader, 16u);
+  EXPECT_EQ(Entry::kRdvChunkHeader, Entry::kEagerHeader);
+  // Rts is an Eager-style matched header plus rdv id (8) and total size (8).
+  EXPECT_EQ(Entry::kRtsHeader, Entry::kEagerHeader + 8 + 8);
+  // The CTS base grant keeps the legacy fixed cost so a no-advertisement
+  // grant (advertise_rdv_load=false) is byte-identical to the old wire format.
+  EXPECT_EQ(Entry::kCtsHeaderBase, 16u);
+  // RailAd: fabric rail (4) + busy delta (8) + backlog bytes (8).
+  EXPECT_EQ(RailAd::kWireSize, 4u + 8u + 8u);
+}
+
+TEST(WireFormat, HeaderBytesDispatchesOnKind) {
+  Entry e;
+  e.kind = Entry::Kind::Eager;
+  EXPECT_EQ(e.header_bytes(), Entry::kEagerHeader);
+  e.kind = Entry::Kind::Rts;
+  EXPECT_EQ(e.header_bytes(), Entry::kRtsHeader);
+  e.kind = Entry::Kind::Cts;
+  EXPECT_EQ(e.header_bytes(), Entry::kCtsHeaderBase);
+  e.kind = Entry::Kind::RdvChunk;
+  EXPECT_EQ(e.header_bytes(), Entry::kRdvChunkHeader);
+}
+
+TEST(WireFormat, CtsHeaderGrowsByWireSizePerRailAd) {
+  Entry cts;
+  cts.kind = Entry::Kind::Cts;
+  // The legacy grant (no advertisement) keeps its historical 16-byte cost.
+  EXPECT_EQ(cts.header_bytes(), 16u);
+  for (std::size_t n = 1; n <= 3; ++n) {
+    cts.rail_ads.push_back(RailAd{static_cast<int>(n) - 1, 1e-6, 4096});
+    EXPECT_EQ(cts.header_bytes(), Entry::kCtsHeaderBase + n * RailAd::kWireSize);
+    EXPECT_EQ(cts.wire_bytes(), cts.header_bytes());  // a CTS has no payload
+  }
+}
+
+TEST(WireFormat, DiagnosticFieldsAreNotWireCharged) {
+  // span, sreq and pred_arrival are simulator bookkeeping that real hardware
+  // would not serialize; stamping them must not change the charged size.
+  Entry e;
+  e.kind = Entry::Kind::RdvChunk;
+  e.bytes.resize(1024);
+  const std::size_t base = e.wire_bytes();
+  e.span = 42;
+  e.pred_arrival = 1.5;
+  EXPECT_EQ(e.wire_bytes(), base);
+  EXPECT_EQ(base, Entry::kRdvChunkHeader + 1024);
+}
+
+TEST(WireFormat, WireMsgAggregatesEntryCosts) {
+  WireMsg wm;
+  Entry eager;
+  eager.kind = Entry::Kind::Eager;
+  eager.bytes.resize(100);
+  Entry cts;
+  cts.kind = Entry::Kind::Cts;
+  cts.rail_ads.resize(2);
+  Entry chunk;
+  chunk.kind = Entry::Kind::RdvChunk;
+  chunk.bytes.resize(2048);
+  wm.entries = {eager, cts, chunk};
+  EXPECT_EQ(wm.wire_bytes(), (Entry::kEagerHeader + 100) +
+                                 (Entry::kCtsHeaderBase + 2 * RailAd::kWireSize) +
+                                 (Entry::kRdvChunkHeader + 2048));
+  EXPECT_EQ(wm.copied_bytes(), 100u);  // only the eager payload is memcpy'd
+  EXPECT_EQ(wm.rdv_bytes(), 2048u);    // only the chunk needs registration
+}
+
+}  // namespace

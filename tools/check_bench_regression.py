@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_engine.json against the checked-in baseline.
 
-Fails (exit 1) when any (bench, ranks) series present in both files lost more
-than the allowed fraction of events/sec. Faster-than-baseline results pass and
-print a hint to refresh the baseline. Series present on only one side are
-reported but not fatal, so adding a new bench does not require touching CI.
+Fails (exit 1) when:
+  * any (bench, ranks) series present in both files lost more than the
+    allowed fraction of events/sec (--max-loss, default 0.25), or
+  * any series grew its peak RSS by more than the allowed fraction
+    (--max-rss-gain, default 0.5), or
+  * a baseline series is missing from the current run. A silently dropped
+    bench is exactly how a perf gate rots: the run "passes" while measuring
+    less and less. Removing a bench on purpose means updating the baseline
+    in the same change.
 
-Usage: check_bench_regression.py <current.json> <baseline.json> [--max-loss=0.25]
+Faster-than-baseline results pass and print a hint to refresh the baseline.
+A new bench with no baseline entry is reported but not fatal, so adding a
+bench does not require touching CI in the same commit.
+
+Usage: check_bench_regression.py <current.json> <baseline.json>
+           [--max-loss=0.25] [--max-rss-gain=0.5]
 """
 
 import json
@@ -24,16 +34,21 @@ def main(argv):
         print(__doc__)
         return 2
     max_loss = 0.25
+    max_rss_gain = 0.5
     for a in argv[3:]:
         if a.startswith("--max-loss="):
             max_loss = float(a.split("=", 1)[1])
+        elif a.startswith("--max-rss-gain="):
+            max_rss_gain = float(a.split("=", 1)[1])
     current, baseline = load(argv[1]), load(argv[2])
 
     failed = False
     for key in sorted(set(current) | set(baseline)):
         name = f"{key[0]}@{key[1]}ranks"
         if key not in current:
-            print(f"  {name}: in baseline only (removed bench?)")
+            print(f"  {name}: FAIL — in baseline but missing from this run "
+                  "(dropped bench? update the baseline if intentional)")
+            failed = True
             continue
         if key not in baseline:
             print(f"  {name}: new bench, no baseline yet")
@@ -49,6 +64,16 @@ def main(argv):
             verdict = "OK (faster — consider refreshing the baseline)"
         print(f"  {name}: {cur:,.0f} vs baseline {base:,.0f} events/s "
               f"({-loss:+.1%}) {verdict}")
+
+        cur_rss = current[key].get("rss_mb")
+        base_rss = baseline[key].get("rss_mb")
+        if cur_rss and base_rss:
+            gain = cur_rss / base_rss - 1.0
+            if gain > max_rss_gain:
+                failed = True
+                print(f"  {name}: rss {cur_rss:.1f}MB vs baseline "
+                      f"{base_rss:.1f}MB ({gain:+.1%}) "
+                      f"FAIL (>{max_rss_gain:.0%} memory growth)")
     return 1 if failed else 0
 
 
