@@ -19,13 +19,14 @@ struct Result {
   double aggregate_MBps = 0;  ///< all bytes moved / run makespan
 };
 
-Result run_case(nmad::StrategyKind strat, bool contended) {
+Result run_case(nmad::StrategyKind strat, bool contended, obs::Report* rep = nullptr) {
   mpi::ClusterConfig cfg;
   cfg.nodes = 2;
   cfg.procs = 4;  // block mapping: ranks 0,1 on node 0 / ranks 2,3 on node 1
   cfg.rails = {net::ib_profile(), net::mx_profile()};
   cfg.stack = mpi::StackKind::Mpich2Nmad;
   cfg.strategy = strat;
+  cfg.trace = rep != nullptr;
 
   constexpr std::size_t kFgMsg = 8_MiB;  // rendezvous foreground stream
   constexpr int kFgIters = 6;
@@ -76,6 +77,13 @@ Result run_case(nmad::StrategyKind strat, bool contended) {
   const double elapsed = cluster.now() - t0;
   const double bytes = static_cast<double>(kFgIters) * static_cast<double>(kFgMsg) +
                        (contended ? static_cast<double>(kNoiseMsgs) * kNoise : 0.0);
+  if (rep != nullptr) {
+    // No per-iteration structure here: the analyzer falls back to one
+    // whole-trace window, so the report covers the run's full makespan.
+    const std::string name = std::string(strat == nmad::StrategyKind::CostModel ? "cost" : "split") +
+                             (contended ? "/contended" : "/idle");
+    rep->runs.push_back(harness::analyze_cluster(cluster, name));
+  }
   Result r;
   r.aggregate_MBps = bytes / elapsed / (1024.0 * 1024.0);
   return r;
@@ -206,6 +214,15 @@ int main(int argc, char** argv) {
       }
     })->Iterations(1);
   }
+  // Critical-path report for both strategies under contention: composition
+  // (how much of the makespan is wire vs software) is the ablation's story
+  // in machine-readable form.
+  obs::Report rep;
+  rep.bench = "abl_costmodel";
+  run_case(nmad::StrategyKind::SplitBalance, /*contended=*/true, &rep);
+  run_case(nmad::StrategyKind::CostModel, /*contended=*/true, &rep);
+  harness::write_report_sidecar(rep, "abl_costmodel");
+
   nmx::bench::emit_default_sidecar("abl_costmodel", [] {
     mpi::ClusterConfig cfg;
     cfg.nodes = 2;

@@ -12,6 +12,8 @@
 // Environment knobs:
 //   NMX_FIG8_CLASS=A|B|C   (default C)
 //   NMX_FIG8_FRACTION=0.03 (fraction of full iterations simulated)
+//   NMX_FIG8_REPORT_ONLY=1 (skip the tables/benchmarks; only produce the
+//                           critical-path report — CI's perf-smoke mode)
 #include <cstdlib>
 
 #include "bench_common.hpp"
@@ -95,14 +97,40 @@ void run_proc_count(int procs, nas::NasClass cls, double fraction) {
   std::cout << "\n";
 }
 
+// Critical-path report: trace CG and FT on the paper's stack at 32 procs,
+// extract the per-iteration critical path and the rail latency tolerance,
+// and leave fig8_nas.report.json behind for the CI composition gate.
+void emit_report(nas::NasClass cls, double fraction) {
+  obs::Report rep;
+  rep.bench = "fig8_nas";
+  for (const char* kernel : {"CG", "FT"}) {
+    mpi::ClusterConfig cfg = testbed(mpi::StackKind::Mpich2Nmad, false, 32);
+    cfg.trace = true;
+    mpi::Cluster cluster(cfg);
+    nas::NasConfig nc;
+    nc.cls = cls;
+    nc.iter_fraction = fraction;
+    nas::run_nas(cluster, kernel, nc);
+    rep.runs.push_back(
+        harness::analyze_cluster(cluster, std::string(kernel) + "/32procs/MPICH2-NMad"));
+  }
+  harness::write_report_sidecar(rep, "fig8_nas");
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const nas::NasClass cls = parse_class();
   const double fraction = parse_fraction();
+  if (std::getenv("NMX_FIG8_REPORT_ONLY") != nullptr) {
+    emit_report(cls, fraction);
+    return 0;
+  }
   std::cout << "== Figure 8: NAS kernels, class " << nas::to_char(cls)
             << ", execution time in seconds (fraction=" << fraction << ") ==\n\n";
   for (int procs : {8, 16, 32, 64}) run_proc_count(procs, cls, fraction);
+  emit_report(cls, fraction);
 
   nmx::bench::emit_default_sidecar("fig8_nas",
                                    testbed(nmx::mpi::StackKind::Mpich2Nmad, true, 8));

@@ -49,7 +49,7 @@ int main() {
     c.barrier();
   });
 
-  const sim::Tracer& tr = *cluster.tracer();
+  sim::Tracer& tr = *cluster.tracer();
   std::printf("captured %zu events over %.1f us of virtual time\n\n", tr.size(),
               cluster.now() * 1e6);
 
@@ -67,7 +67,7 @@ int main() {
   std::string line;
   for (int i = 0; i < 13 && std::getline(is, line); ++i) std::printf("  %s\n", line.c_str());
 
-  const obs::Recorder& rec = tr.recorder();
+  obs::Recorder& rec = tr.recorder();
   obs::write_chrome_trace_file(rec, "trace_dump.trace.json");
   obs::write_metrics_csv_file(rec, "trace_dump.metrics.csv");
   std::printf("\nwrote trace_dump.trace.json (%zu chrome events) — open in "

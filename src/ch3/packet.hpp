@@ -51,6 +51,7 @@ struct ShmHdr {
   int context = 0;
   std::uint64_t rdv_id = 0;
   std::size_t len = 0;  ///< full payload size (Rts announces it)
+  std::uint64_t span = 0;  ///< sender's message-lifecycle span (tracing)
 };
 
 }  // namespace nmx::ch3

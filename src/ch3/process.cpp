@@ -161,11 +161,18 @@ void Ch3Process::finish(MpidRequest* req) {
   }
 }
 
-void Ch3Process::complete_recv(MpidRequest* req, int src, int tag, std::size_t count) {
+void Ch3Process::complete_recv(MpidRequest* req, int src, int tag, std::size_t count,
+                               obs::SpanId sender_span) {
   req->status.source = src;
   req->status.tag = tag;
   req->status.count = count;
   if (obs::Recorder* rec = eng_.recorder()) {
+    // Match link for the critical-path analyzer: receiver's span -> the
+    // sender's span that satisfied it (0 when the path cannot know it).
+    if (req->span != 0 && sender_span != 0) {
+      rec->link(eng_.now(), rank_, obs::Cat::MsgMatch, req->span, count,
+                static_cast<std::int64_t>(sender_span));
+    }
     rec->end(eng_.now(), rank_, obs::Cat::MsgRecv, req->span, count, src);
     req->span = 0;
   }
@@ -222,7 +229,7 @@ bool Ch3Process::match_unexpected(MpidRequest* req) {
       if (!msg.payload.empty()) {
         std::memcpy(req->rbuf, msg.payload.data(), msg.payload.size());
       }
-      complete_recv(req, msg.src, msg.tag, msg.payload.size());
+      complete_recv(req, msg.src, msg.tag, msg.payload.size(), msg.span);
     } else if (msg.origin == UnexMsg::Origin::Shm) {
       NMX_ASSERT(msg.len <= req->len);
       shm_rdv_in_.emplace(std::make_pair(msg.src, msg.rdv_id), req);
@@ -266,7 +273,7 @@ void Ch3Process::deliver_local(UnexMsg msg) {
   if (msg.kind == UnexMsg::Kind::Eager) {
     NMX_ASSERT_MSG(msg.payload.size() <= req->len, "message overflows receive buffer");
     if (!msg.payload.empty()) std::memcpy(req->rbuf, msg.payload.data(), msg.payload.size());
-    complete_recv(req, msg.src, msg.tag, msg.payload.size());
+    complete_recv(req, msg.src, msg.tag, msg.payload.size(), msg.span);
   } else if (msg.origin == UnexMsg::Origin::Shm) {
     NMX_ASSERT(msg.len <= req->len);
     shm_rdv_in_.emplace(std::make_pair(msg.src, msg.rdv_id), req);
@@ -359,7 +366,7 @@ void Ch3Process::post_remote_recv(MpidRequest* req) {
   req->nmad_req = nm_irecv(
       req->peer, pack_tag(req->context, req->tag), req->rbuf, req->len,
       [this, req](nmad::Request& nr) {
-        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received, nr.peer_span);
       },
       req->span);
 }
@@ -400,7 +407,7 @@ void Ch3Process::bind_any_source(MpidRequest* req, const nmad::ProbeInfo& found)
   req->nmad_req = nm_irecv(
       found.src, found.tag, req->rbuf, req->len,
       [this, req](nmad::Request& nr) {
-        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received);
+        complete_recv(req, nr.peer, unpack_user_tag(nr.tag), nr.received, nr.peer_span);
       },
       req->span);
   // Now remove the entry and release the deferred requests behind it. Done
@@ -430,6 +437,7 @@ void Ch3Process::send_self(MpidRequest* req, const void* buf, std::size_t len) {
   msg.tag = req->tag;
   msg.context = req->context;
   msg.len = len;
+  msg.span = req->span;
   msg.payload.resize(len);
   if (len > 0) std::memcpy(msg.payload.data(), buf, len);
   eng_.schedule_in(kSelfLatency, [this, msg = std::move(msg)]() mutable {
@@ -445,6 +453,7 @@ void Ch3Process::send_shm(MpidRequest* req, const void* buf, std::size_t len) {
   hdr.tag = req->tag;
   hdr.context = req->context;
   hdr.len = len;
+  hdr.span = req->span;
   if (len <= cfg_.shm_rdv_threshold) {
     hdr.kind = ShmHdr::Kind::Eager;
     nemesis::Message m;
@@ -505,6 +514,7 @@ void Ch3Process::process_shm(ShmHdr hdr, std::vector<std::byte> payload, int /*s
       msg.tag = hdr.tag;
       msg.context = hdr.context;
       msg.len = payload.size();
+      msg.span = hdr.span;
       msg.payload = std::move(payload);
       deliver_local(std::move(msg));
       break;
@@ -518,6 +528,7 @@ void Ch3Process::process_shm(ShmHdr hdr, std::vector<std::byte> payload, int /*s
       msg.context = hdr.context;
       msg.rdv_id = hdr.rdv_id;
       msg.len = hdr.len;
+      msg.span = hdr.span;
       deliver_local(std::move(msg));
       break;
     }
@@ -533,6 +544,7 @@ void Ch3Process::process_shm(ShmHdr hdr, std::vector<std::byte> payload, int /*s
       data.context = out.req->context;
       data.rdv_id = hdr.rdv_id;
       data.len = out.payload.size();
+      data.span = out.req->span;
       nemesis::Message m;
       m.src_local = local_index_;
       m.header = data;
@@ -548,7 +560,7 @@ void Ch3Process::process_shm(ShmHdr hdr, std::vector<std::byte> payload, int /*s
       shm_rdv_in_.erase(it);
       NMX_ASSERT(payload.size() <= req->len);
       if (!payload.empty()) std::memcpy(req->rbuf, payload.data(), payload.size());
-      complete_recv(req, hdr.src_rank, hdr.tag, payload.size());
+      complete_recv(req, hdr.src_rank, hdr.tag, payload.size(), hdr.span);
       break;
     }
   }
@@ -565,6 +577,7 @@ void Ch3Process::send_legacy(MpidRequest* req, const void* buf, std::size_t len)
   hdr.tag = req->tag;
   hdr.context = req->context;
   hdr.len = len;
+  hdr.span = req->span;
   if (len <= cfg_.legacy_cell_payload) {
     hdr.kind = ShmHdr::Kind::Eager;
     auto cell = serialize_ctl(hdr, buf, len);
@@ -623,6 +636,7 @@ void Ch3Process::legacy_process_ctl(int src, std::vector<std::byte> cell, std::s
       msg.tag = hdr.tag;
       msg.context = hdr.context;
       msg.len = payload_len;
+      msg.span = hdr.span;
       msg.payload.assign(cell.begin() + sizeof(ShmHdr),
                          cell.begin() + static_cast<std::ptrdiff_t>(len));
       deliver_local(std::move(msg));
@@ -637,6 +651,7 @@ void Ch3Process::legacy_process_ctl(int src, std::vector<std::byte> cell, std::s
       msg.context = hdr.context;
       msg.rdv_id = hdr.rdv_id;
       msg.len = hdr.len;
+      msg.span = hdr.span;
       deliver_local(std::move(msg));
       break;
     }
@@ -660,7 +675,7 @@ void Ch3Process::legacy_grant(int src, int tag, std::uint64_t rdv_id, MpidReques
   // internal NewMadeleine rendezvous underneath it) finds it posted.
   nm_irecv(src, pack_tag(kLegacyDataContext, static_cast<int>(rdv_id & 0x7fffffff)), req->rbuf,
            req->len, [this, req, src, tag](nmad::Request& nr) {
-             complete_recv(req, src, tag, nr.received);
+             complete_recv(req, src, tag, nr.received, nr.peer_span);
              eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
            });
   ShmHdr cts;

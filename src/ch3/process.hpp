@@ -94,6 +94,7 @@ class Ch3Process final : public mpi::Transport {
     int context = 0;
     std::uint64_t rdv_id = 0;  ///< shm or legacy CH3 rendezvous id
     std::size_t len = 0;
+    obs::SpanId span = 0;  ///< sender's message-lifecycle span (tracing)
     std::vector<std::byte> payload;
   };
 
@@ -149,7 +150,8 @@ class Ch3Process final : public mpi::Transport {
   void legacy_grant(int src, int tag, std::uint64_t rdv_id, MpidRequest* req);
 
   // completion helpers
-  void complete_recv(MpidRequest* req, int src, int tag, std::size_t count);
+  void complete_recv(MpidRequest* req, int src, int tag, std::size_t count,
+                     obs::SpanId sender_span = 0);
   void complete_send(MpidRequest* req);
   void finish(MpidRequest* req);  // complete_and_wake with any-source penalty
 

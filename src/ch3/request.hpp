@@ -26,8 +26,8 @@ struct MpidRequest : mpi::TxRequest {
   /// §3.1.1: the NewMadeleine request backing this ADI request (bypass path).
   nmad::Request* nmad_req = nullptr;
 
-  /// Message-lifecycle span (MsgSend / MsgRecv), open from post to completion.
-  obs::SpanId span = 0;
+  // The message-lifecycle span lives on mpi::TxRequest (`span`), so the MPI
+  // layer can attribute waits to the request that blocked them.
 
   /// Completion reached through the any-source lists — charge the extra
   /// 300 ns the paper measures (§4.1.1).

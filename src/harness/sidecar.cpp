@@ -1,6 +1,7 @@
 #include "harness/sidecar.hpp"
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "obs/export_chrome.hpp"
@@ -13,6 +14,38 @@ bool write_sidecars(mpi::Cluster& cluster, const std::string& stem) {
   if (rec == nullptr) return false;
   obs::write_chrome_trace_file(*rec, stem + ".trace.json");
   obs::write_metrics_csv_file(*rec, stem + ".metrics.csv");
+  return true;
+}
+
+std::vector<obs::RailParam> rail_params(const mpi::ClusterConfig& cfg) {
+  std::vector<obs::RailParam> out;
+  out.reserve(cfg.rails.size());
+  for (const net::NicProfile& p : cfg.rails) {
+    obs::RailParam rp;
+    rp.name = p.name;
+    rp.lambda = p.wire_latency + p.per_message;
+    rp.beta = p.bandwidth;
+    out.push_back(std::move(rp));
+  }
+  return out;
+}
+
+obs::RunReport analyze_cluster(mpi::Cluster& cluster, std::string name) {
+  obs::Recorder* rec = cluster.recorder();
+  if (rec == nullptr) {
+    obs::RunReport empty;
+    empty.name = std::move(name);
+    return empty;
+  }
+  return obs::analyze_run(*rec, std::move(name), cluster.config().procs,
+                          rail_params(cluster.config()));
+}
+
+bool write_report_sidecar(const obs::Report& rep, const std::string& stem) {
+  const std::string path = stem + ".report.json";
+  if (!obs::write_report_file(rep, path)) return false;
+  obs::print_report_summary(rep, std::cout);
+  std::printf("report sidecar: %s\n", path.c_str());
   return true;
 }
 

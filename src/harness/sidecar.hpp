@@ -6,14 +6,28 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "mpi/cluster.hpp"
+#include "obs/report.hpp"
 
 namespace nmx::harness {
 
 /// Write `<stem>.trace.json` and `<stem>.metrics.csv` from the cluster's
 /// recorder. Returns false (and writes nothing) if tracing was off.
 bool write_sidecars(mpi::Cluster& cluster, const std::string& stem);
+
+/// Analytic rail parameters (lambda = wire latency + per-message cost,
+/// beta = bandwidth) of a cluster's rails, for the latency-tolerance model.
+std::vector<obs::RailParam> rail_params(const mpi::ClusterConfig& cfg);
+
+/// Analyze the cluster's trace (critical path + latency tolerance) into one
+/// report entry named `name`.
+obs::RunReport analyze_cluster(mpi::Cluster& cluster, std::string name);
+
+/// Write `<stem>.report.json` from an assembled report and print its
+/// human-readable summary table. Returns false if the file cannot be written.
+bool write_report_sidecar(const obs::Report& rep, const std::string& stem);
 
 /// Run a small mixed workload (network rendezvous + overlap compute, eager
 /// shared-memory traffic, a barrier) on `cfg` with tracing and PIOMan forced

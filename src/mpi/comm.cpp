@@ -69,6 +69,12 @@ Comm Comm::split(int color, int key) {
 int Comm::waitany(std::span<Request> reqs, Status* st) {
   // Poll-free: wait on each in turn would serialize; instead register this
   // actor as a waiter on every active request and block until one fires.
+  // Request spans are zeroed at completion, so capture them up front: the
+  // MpiWait End arg names the request that unblocked the wait.
+  std::vector<obs::SpanId> entry_spans(reqs.size(), 0);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].valid()) entry_spans[i] = reqs[i].req_->span;
+  }
   const obs::SpanId sp = span_begin(obs::Cat::MpiWait);
   tx_.enter_progress();
   for (;;) {
@@ -81,7 +87,7 @@ int Comm::waitany(std::span<Request> reqs, Status* st) {
         tx_.release(reqs[i].req_);
         reqs[i].req_ = nullptr;
         tx_.leave_progress();
-        span_end(obs::Cat::MpiWait, sp);
+        span_end(obs::Cat::MpiWait, sp, 0, static_cast<std::int64_t>(entry_spans[i]));
         return static_cast<int>(i);
       }
     }

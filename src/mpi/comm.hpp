@@ -80,9 +80,12 @@ class Comm {
 
   Status wait(Request& r) {
     NMX_ASSERT_MSG(r.valid(), "wait on an inactive request");
+    // Capture the waited request's span before completion zeroes it: the
+    // MpiWait End arg names what the wait was blocked on (critpath edge).
+    const obs::SpanId waited = r.req_->span;
     const obs::SpanId sp = span_begin(obs::Cat::MpiWait);
     tx_.wait(actor_, r.req_);
-    span_end(obs::Cat::MpiWait, sp);
+    span_end(obs::Cat::MpiWait, sp, 0, static_cast<std::int64_t>(waited));
     const Status st = localized(r.req_->status);
     tx_.release(r.req_);
     r.req_ = nullptr;
@@ -238,6 +241,16 @@ class Comm {
 
   sim::Actor& actor() { return actor_; }
   Transport& transport() { return tx_; }
+
+  /// Open/close an application-defined region span on this rank (e.g. the
+  /// per-iteration Cat::Iter spans nas::timed_loop emits for the critical-path
+  /// analyzer). Returns 0 (and region_end no-ops) without a recorder.
+  obs::SpanId region_begin(obs::Cat cat, std::size_t bytes = 0, std::int64_t a = 0) {
+    return span_begin(cat, bytes, a);
+  }
+  void region_end(obs::Cat cat, obs::SpanId sp, std::size_t bytes = 0, std::int64_t a = 0) {
+    span_end(cat, sp, bytes, a);
+  }
 
   // --- subsystem plumbing (used by mpi::Window; not part of the user API) --
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct TxRequest {
   bool completed = false;
   Status status;
   std::vector<sim::Actor*> waiters;
+  /// Message-lifecycle span id (obs::SpanId), open from post to completion.
+  /// Lives on the base so the MPI layer can name the request a wait blocked
+  /// on without knowing the transport's request subtype. 0 = untraced.
+  std::uint64_t span = 0;
 
   virtual ~TxRequest() = default;
 

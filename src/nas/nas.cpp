@@ -32,7 +32,13 @@ double timed_loop(mpi::Comm& c, int full_iters, double fraction,
   iter_body(-1);  // warmup (registration caches, route warm-up)
   c.barrier();
   const double t0 = c.wtime();
-  for (int i = 0; i < run; ++i) iter_body(i);
+  for (int i = 0; i < run; ++i) {
+    // Iteration spans bound the critical-path analyzer's per-iteration
+    // windows (arg = iteration index; the warmup iteration is untraced).
+    const obs::SpanId it = c.region_begin(obs::Cat::Iter, 0, i);
+    iter_body(i);
+    c.region_end(obs::Cat::Iter, it, 0, i);
+  }
   c.barrier();
   const double t = c.wtime() - t0;
   return t * static_cast<double>(full_iters) / run;

@@ -160,9 +160,10 @@ Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ct
       NMX_ASSERT_MSG(u.payload.size() <= req->len, "eager message overflows receive buffer");
       if (!u.payload.empty()) std::memcpy(req->rbuf, u.payload.data(), u.payload.size());
       req->received = u.payload.size();
+      req->peer_span = u.span;
       complete(*req);
     } else {
-      start_rdv_recv(src, req, u.rdv_id, u.len);
+      start_rdv_recv(src, req, u.rdv_id, u.len, u.span);
     }
     return req;
   }
@@ -402,7 +403,7 @@ void Core::handle_wire(int fabric_rail, WireMsg m) {
     switch (e.kind) {
       case Entry::Kind::Eager:
       case Entry::Kind::Rts:
-        ingest_ordered(src, std::move(e));
+        ingest_ordered(src, std::move(e), fabric_rail);
         break;
       case Entry::Kind::Cts:
         handle_cts(src, e);
@@ -414,7 +415,7 @@ void Core::handle_wire(int fabric_rail, WireMsg m) {
   }
 }
 
-void Core::ingest_ordered(int src, Entry e) {
+void Core::ingest_ordered(int src, Entry e, int fabric_rail) {
   GateState& g = gate(src);
   std::uint32_t& expected = g.recv_seq[e.tag];
   if (e.seq != expected) {
@@ -422,31 +423,39 @@ void Core::ingest_ordered(int src, Entry e) {
     // stash until its turn to preserve MPI matching order.
     const Tag tag = e.tag;
     const std::uint32_t seq = e.seq;
-    g.out_of_order.emplace(std::make_pair(tag, seq), PendingIngest{std::move(e), src});
+    g.out_of_order.emplace(std::make_pair(tag, seq), PendingIngest{std::move(e), src, fabric_rail});
     return;
   }
   ++expected;
-  ingest(src, e);
+  ingest(src, e, fabric_rail);
   // Drain any stashed successors that are now in order.
   for (;;) {
     auto it = g.out_of_order.find({e.tag, g.recv_seq[e.tag]});
     if (it == g.out_of_order.end()) break;
     Entry next = std::move(it->second.entry);
+    const int next_rail = it->second.fabric_rail;
     g.out_of_order.erase(it);
     ++g.recv_seq[next.tag];
-    ingest(src, next);
+    ingest(src, next, next_rail);
   }
 }
 
-void Core::ingest(int src, Entry& e) {
+void Core::ingest(int src, Entry& e, int fabric_rail) {
   if (e.kind == Entry::Kind::Eager) {
-    deliver_eager(src, e);
+    deliver_eager(src, e, fabric_rail);
   } else {
     handle_rts(src, e);
   }
 }
 
-void Core::deliver_eager(int src, Entry& e) {
+void Core::deliver_eager(int src, Entry& e, int fabric_rail) {
+  // Landing link for the critical-path analyzer: last byte of this eager
+  // entry is on the receiver, on `fabric_rail`, named by the sender's span.
+  if (obs::Recorder* rec = eng_.recorder()) {
+    if (e.span != 0) {
+      rec->link(eng_.now(), my_proc_, obs::Cat::WireLand, e.span, e.bytes.size(), fabric_rail);
+    }
+  }
   GateState& g = gate(src);
   auto& posted = g.posted[e.tag];
   if (!posted.empty()) {
@@ -455,6 +464,7 @@ void Core::deliver_eager(int src, Entry& e) {
     NMX_ASSERT_MSG(e.bytes.size() <= req->len, "eager message overflows receive buffer");
     if (!e.bytes.empty()) std::memcpy(req->rbuf, e.bytes.data(), e.bytes.size());
     req->received = e.bytes.size();
+    req->peer_span = e.span;
     complete(*req);
     return;
   }
@@ -463,6 +473,7 @@ void Core::deliver_eager(int src, Entry& e) {
   u.arrival = arrival_counter_++;
   u.rdv = false;
   u.len = len;
+  u.span = e.span;
   u.payload = std::move(e.bytes);
   g.unexpected[e.tag].push_back(std::move(u));
   ++unexpected_total_;
@@ -479,7 +490,7 @@ void Core::handle_rts(int src, Entry& e) {
   if (!posted.empty()) {
     Request* req = posted.front();
     posted.pop_front();
-    start_rdv_recv(src, req, e.rdv_id, e.rdv_total);
+    start_rdv_recv(src, req, e.rdv_id, e.rdv_total, e.span);
     return;
   }
   Unexpected u;
@@ -487,6 +498,7 @@ void Core::handle_rts(int src, Entry& e) {
   u.rdv = true;
   u.len = e.rdv_total;
   u.rdv_id = e.rdv_id;
+  u.span = e.span;
   g.unexpected[e.tag].push_back(std::move(u));
   ++unexpected_total_;
   if (obs::Recorder* rec = eng_.recorder()) {
@@ -536,9 +548,11 @@ std::vector<RailAd> Core::sample_rail_ads(int granting_src, std::uint64_t granti
   return ads;
 }
 
-void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total) {
+void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total,
+                          std::uint64_t sender_span) {
   NMX_ASSERT_MSG(total <= req->len, "rendezvous message overflows receive buffer");
   req->received = total;  // final size; arrival tracked via rdv_in bytes
+  req->peer_span = sender_span;
   rdv_in_.emplace(std::make_pair(src, rdv_id), RdvIn{req});
   req->bytes_outstanding = total;  // bytes not yet landed
 
@@ -666,6 +680,9 @@ void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
   if (obs::Recorder* rec = eng_.recorder()) {
     rec->instant(eng_.now(), my_proc_, obs::Cat::RdvData, e.bytes.size(),
                  static_cast<std::int64_t>(e.span));
+    if (e.span != 0) {
+      rec->link(eng_.now(), my_proc_, obs::Cat::WireLand, e.span, e.bytes.size(), fabric_rail);
+    }
     // Close the two-ended prediction loop: the sender stamped its predicted
     // arrival on the chunk; the receiver measures the miss at landing.
     if (e.pred_arrival > 0) {

@@ -122,6 +122,7 @@ class Core {
     bool rdv = false;
     std::size_t len = 0;
     std::uint64_t rdv_id = 0;
+    std::uint64_t span = 0;  ///< sender's message span (deferred-match linking)
     std::vector<std::byte> payload;  ///< eager only
   };
 
@@ -129,6 +130,7 @@ class Core {
   struct PendingIngest {
     Entry entry;
     int src;
+    int fabric_rail = -1;
   };
 
   struct GateState {
@@ -175,13 +177,14 @@ class Core {
   void rx_wire(net::WirePacket&& pkt);
   void drain_rx();
   void handle_wire(int fabric_rail, WireMsg m);
-  void ingest_ordered(int src, Entry e);
-  void ingest(int src, Entry& e);
-  void deliver_eager(int src, Entry& e);
+  void ingest_ordered(int src, Entry e, int fabric_rail);
+  void ingest(int src, Entry& e, int fabric_rail);
+  void deliver_eager(int src, Entry& e, int fabric_rail);
   void handle_rts(int src, Entry& e);
   void handle_cts(int src, Entry& cts);
   void handle_rdv_data(int src, int fabric_rail, Entry& e);
-  void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total);
+  void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total,
+                      std::uint64_t sender_span = 0);
   void complete(Request& r);
   void notify_async();
   bool any_rail_needs_registration() const;

@@ -68,6 +68,7 @@ struct Request {
 
   // observability (obs/recorder.hpp): spans threaded through the stack
   std::uint64_t span = 0;      ///< upper-layer message-lifecycle span id
+  std::uint64_t peer_span = 0; ///< recv side: the matched sender's span id
   std::uint64_t rdv_span = 0;  ///< sender-side rendezvous-handshake span id
   Time rdv_rts_t = 0;          ///< when the RTS was posted (handshake latency)
 

@@ -1,0 +1,325 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nmx::obs {
+
+namespace {
+
+/// Two records closer than this are treated as simultaneous. Simulated times
+/// are exact doubles; eps only guards against accumulated rounding in the
+/// walk itself.
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+const char* to_string(SegKind k) {
+  switch (k) {
+    case SegKind::Compute: return "compute";
+    case SegKind::Wire: return "wire";
+    case SegKind::Sw: return "sw";
+    case SegKind::Blocked: return "blocked";
+  }
+  return "?";
+}
+
+SpanIndex build_span_index(const Recorder& rec) {
+  SpanIndex idx;
+  const std::vector<Record>& recs = rec.records();
+
+  // Iteration windows are keyed by iteration index; built from the record
+  // stream (not the span map) so construction order is deterministic.
+  std::map<int, IterWindow> iters;
+  int last_rank = 0;  // rank of the latest record — synthetic-window fallback
+
+  bool first = true;
+  for (const Record& r : recs) {
+    if (first) {
+      idx.t_min = idx.t_max = r.t;
+      first = false;
+    }
+    idx.t_min = std::min(idx.t_min, r.t);
+    if (r.t >= idx.t_max) {
+      idx.t_max = r.t;
+      if (r.rank >= 0) last_rank = r.rank;
+    }
+    switch (r.ph) {
+      case Ph::Begin: {
+        SpanInfo& s = idx.spans[r.span];
+        s.cat = r.cat;
+        s.rank = r.rank;
+        s.t0 = s.t1 = r.t;
+        s.closed = false;
+        s.bytes = r.bytes;
+        s.arg_begin = r.arg;
+        break;
+      }
+      case Ph::End: {
+        const auto it = idx.spans.find(r.span);
+        if (it == idx.spans.end()) break;  // Begin lost to ring rotation
+        SpanInfo& s = it->second;
+        s.t1 = r.t;
+        s.closed = true;
+        s.arg_end = r.arg;
+        // Activity timelines and iteration windows are closed-span views;
+        // push at End time so insertion order is the record order.
+        if (s.rank >= 0) {
+          if (s.cat == Cat::MpiWait) {
+            idx.activity[s.rank].push_back(
+                Interval{s.t0, s.t1, true, static_cast<SpanId>(s.arg_end)});
+          } else if (s.cat == Cat::Compute) {
+            idx.activity[s.rank].push_back(Interval{s.t0, s.t1, false, 0});
+          } else if (s.cat == Cat::Iter && s.arg_begin >= 0) {
+            IterWindow& w = iters[static_cast<int>(s.arg_begin)];
+            w.iter = static_cast<int>(s.arg_begin);
+            if (w.per_rank.empty() || s.t0 < w.t0) w.t0 = s.t0;
+            if (w.per_rank.empty() || s.t1 > w.t1) {
+              w.t1 = s.t1;
+              w.end_rank = s.rank;
+            }
+            w.per_rank[s.rank] = {s.t0, s.t1};
+          }
+        }
+        break;
+      }
+      case Ph::Instant:
+        if (r.cat == Cat::MsgMatch && r.span != 0 && r.arg > 0) {
+          idx.match[r.span] = static_cast<SpanId>(r.arg);
+          idx.rmatch[static_cast<SpanId>(r.arg)] = r.span;
+        } else if (r.cat == Cat::WireLand && r.span != 0) {
+          idx.landings[r.span].push_back(
+              Landing{r.t, static_cast<int>(r.arg), r.bytes});
+        }
+        break;
+    }
+  }
+
+  for (auto& [rank, v] : idx.activity) {
+    std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+      if (a.t0 != b.t0) return a.t0 < b.t0;
+      if (a.t1 != b.t1) return a.t1 < b.t1;
+      return a.waited < b.waited;
+    });
+  }
+
+  idx.iters.reserve(iters.size());
+  for (auto& [i, w] : iters) idx.iters.push_back(std::move(w));
+
+  if (idx.iters.empty() && !recs.empty()) {
+    // No Iter spans (e.g. a microbench): analyze the whole trace as one
+    // window, starting the walk on the rank whose activity ended last.
+    IterWindow w;
+    w.iter = -1;
+    w.t0 = idx.t_min;
+    w.t1 = idx.t_max;
+    w.end_rank = last_rank;
+    Time best = idx.t_min - 1;
+    for (const auto& [rank, v] : idx.activity) {
+      if (!v.empty()) {
+        Time end = v.front().t1;
+        for (const Interval& iv : v) end = std::max(end, iv.t1);
+        if (end > best) {
+          best = end;
+          w.end_rank = rank;
+        }
+      }
+    }
+    idx.iters.push_back(w);
+    idx.synthetic_window = true;
+  }
+  return idx;
+}
+
+namespace {
+
+/// Latest activity interval of `rank` starting strictly before `t` (nullptr
+/// when the rank has none).
+const Interval* interval_before(const SpanIndex& idx, int rank, Time t) {
+  const auto it_act = idx.activity.find(rank);
+  if (it_act == idx.activity.end()) return nullptr;
+  const std::vector<Interval>& v = it_act->second;
+  const auto it = std::upper_bound(
+      v.begin(), v.end(), t - kEps,
+      [](Time x, const Interval& iv) { return x < iv.t0; });
+  if (it == v.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+/// Latest landing of sender span `send` no later than `t`. Ties on time break
+/// toward the lowest rail index (deterministic multi-rail overlap handling).
+bool last_landing(const SpanIndex& idx, SpanId send, Time t, Time& t_land,
+                  int& rail) {
+  const auto it = idx.landings.find(send);
+  if (it == idx.landings.end()) return false;
+  bool have = false;
+  for (const Landing& L : it->second) {
+    if (L.t > t + kEps) continue;  // landed after the frontier: not this path
+    if (!have || L.t > t_land + kEps ||
+        (std::abs(L.t - t_land) <= kEps && L.rail < rail)) {
+      t_land = L.t;
+      rail = L.rail;
+      have = true;
+    }
+  }
+  return have;
+}
+
+IterPath extract_iter(const SpanIndex& idx, const IterWindow& w) {
+  IterPath p;
+  p.iter = w.iter;
+  p.t_begin = w.t0;
+  p.t_end = w.t1;
+
+  auto emit = [&](int rank, Time a, Time b, SegKind kind, int rail,
+                  SpanId cause) {
+    a = std::max(a, w.t0);
+    b = std::min(b, w.t1);
+    if (b - a <= 0) return;
+    p.segments.push_back(PathSegment{rank, a, b, kind, rail, cause});
+    const double d = b - a;
+    switch (kind) {
+      case SegKind::Compute: p.compute += d; break;
+      case SegKind::Wire:
+        p.wire += d;
+        p.wire_by_rail[rail] += d;
+        break;
+      case SegKind::Sw: p.sw += d; break;
+      case SegKind::Blocked: p.blocked += d; break;
+    }
+  };
+
+  int r = w.end_rank;
+  Time t = w.t1;
+  // Every step strictly decreases t; the guard only catches degenerate
+  // traces (e.g. all records at one instant).
+  std::size_t guard = 16 * (idx.spans.size() + idx.match.size()) + 1024;
+
+  while (t > w.t0 + kEps) {
+    if (guard-- == 0) {
+      emit(r, w.t0, t, SegKind::Blocked, -1, 0);
+      break;
+    }
+    const Interval* iv = interval_before(idx, r, t);
+    if (iv == nullptr || iv->t1 < t - kEps) {
+      // Gap between instrumented intervals: the rank was running protocol /
+      // library code — software overhead.
+      const Time g0 = std::max(w.t0, iv ? iv->t1 : w.t0);
+      emit(r, g0, t, SegKind::Sw, -1, 0);
+      t = g0;
+      continue;
+    }
+    if (!iv->wait) {
+      emit(r, iv->t0, t, SegKind::Compute, -1, 0);
+      t = std::max(w.t0, iv->t0);
+      continue;
+    }
+    // Inside a wait. If the frontier is strictly before the wait's end we
+    // arrived via a jump while the rank was still blocked; the resolving
+    // event lies in the future of this frontier, so charge blocked time back
+    // to the wait's start.
+    auto blocked_to_start = [&] {
+      emit(r, iv->t0, t, SegKind::Blocked, -1, iv->waited);
+      t = std::max(w.t0, iv->t0);
+    };
+    if (t < iv->t1 - kEps) {
+      blocked_to_start();
+      continue;
+    }
+    const SpanId waited = iv->waited;
+    const auto si = idx.spans.find(waited);
+    if (waited == 0 || si == idx.spans.end()) {
+      blocked_to_start();
+      continue;
+    }
+    const SpanInfo& s = si->second;
+    if (s.cat == Cat::MsgRecv) {
+      // The wait resolved on a receive: follow the message to its sender.
+      const auto mi = idx.match.find(waited);
+      const SpanInfo* send = nullptr;
+      SpanId send_id = 0;
+      if (mi != idx.match.end()) {
+        const auto pi = idx.spans.find(mi->second);
+        if (pi != idx.spans.end()) {
+          send = &pi->second;
+          send_id = mi->second;
+        }
+      }
+      if (send == nullptr || send->t0 >= t - kEps) {
+        blocked_to_start();
+        continue;
+      }
+      const Time t_post = send->t0;
+      Time t_land = t_post;
+      int rail = -1;
+      if (last_landing(idx, send_id, t, t_land, rail) && t_land > t_post) {
+        const Time tl = std::min(t_land, t);
+        emit(r, tl, t, SegKind::Sw, -1, waited);  // delivery, match, wakeup
+        emit(r, t_post, tl, SegKind::Wire, rail, send_id);
+      } else {
+        // No wire landing recorded: shm/self/local transport.
+        emit(r, t_post, t, SegKind::Wire, -1, send_id);
+      }
+      r = send->rank;
+      t = std::max(w.t0, t_post);
+      continue;
+    }
+    if (s.cat == Cat::MsgSend) {
+      // The wait resolved on a send. For rendezvous the completion can be
+      // bound by the *receiver* posting late (RTS sat unmatched); otherwise
+      // it is bound by our own egress. Either way the stretch back to the
+      // binding post is transport time (wire + handshake), attributed to the
+      // rail the message landed on.
+      Time t_land = s.t0;
+      int rail = -1;
+      last_landing(idx, waited, t, t_land, rail);
+      const auto ri = idx.rmatch.find(waited);
+      const SpanInfo* recv = nullptr;
+      if (ri != idx.rmatch.end()) {
+        const auto pi = idx.spans.find(ri->second);
+        if (pi != idx.spans.end()) recv = &pi->second;
+      }
+      if (recv != nullptr && recv->t0 > s.t0 + kEps && recv->t0 < t - kEps) {
+        emit(r, recv->t0, t, SegKind::Wire, rail, waited);
+        r = recv->rank;
+        t = std::max(w.t0, recv->t0);
+        continue;
+      }
+      if (s.t0 < t - kEps) {
+        emit(r, s.t0, t, SegKind::Wire, rail, waited);
+        t = std::max(w.t0, s.t0);  // stay on this rank, before the send post
+        continue;
+      }
+      blocked_to_start();
+      continue;
+    }
+    blocked_to_start();
+  }
+
+  std::reverse(p.segments.begin(), p.segments.end());
+  return p;
+}
+
+}  // namespace
+
+CritPathResult extract_critical_path(const SpanIndex& idx) {
+  CritPathResult res;
+  res.iterations.reserve(idx.iters.size());
+  for (const IterWindow& w : idx.iters) {
+    IterPath p = extract_iter(idx, w);
+    res.wall += p.wall();
+    res.compute += p.compute;
+    res.wire += p.wire;
+    res.sw += p.sw;
+    res.blocked += p.blocked;
+    for (const auto& [rail, d] : p.wire_by_rail) res.wire_by_rail[rail] += d;
+    res.iterations.push_back(std::move(p));
+  }
+  return res;
+}
+
+CritPathResult extract_critical_path(const Recorder& rec) {
+  return extract_critical_path(build_span_index(rec));
+}
+
+}  // namespace nmx::obs

@@ -1,0 +1,158 @@
+// Critical-path extraction from Recorder traces.
+//
+// The span layer records enough structure to reconstruct the happens-before
+// DAG of a run after the fact:
+//   * MsgSend/MsgRecv spans  — request lifetime, post -> completion
+//   * MsgMatch link records  — receiver's MsgRecv span -> sender's MsgSend span
+//   * WireLand link records  — last byte of a wire entry landed (sender's
+//                              MsgSend span, fabric rail index)
+//   * MpiWait spans          — End arg names the span the wait resolved on
+//   * Compute spans          — application compute blocks
+//   * Iter spans             — per-iteration analysis windows (arg = index)
+//
+// build_span_index() parses the flat record stream once into lookup tables;
+// extract_critical_path() then walks each iteration window *backward* from
+// the rank that finished last. At every step the walk asks "what was this
+// rank doing just before time t?" and either consumes local time (compute,
+// software overhead, blocked-in-wait) or follows a message edge to the
+// sending rank. Message edges split into a wire portion ([send post, last
+// landing], attributed to the landing's fabric rail) and a software tail
+// ([landing, wait end]: delivery, matching, wakeup).
+//
+// The walk *tiles* the window: emitted segments are contiguous and sum
+// exactly to the iteration wall time, so the per-category breakdown is a
+// true decomposition, not a sampling estimate. Tie-breaking is
+// deterministic: among simultaneous landings the lowest rail index wins;
+// interval lookup is by latest start before t.
+//
+// The same SpanIndex feeds obs/lat_tolerance.hpp, which re-times the DAG
+// under perturbed rail parameters to estimate latency tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/recorder.hpp"
+
+namespace nmx::obs {
+
+/// One span reconstructed from its Begin/End records.
+struct SpanInfo {
+  Cat cat = Cat::MpiSend;
+  int rank = -1;
+  Time t0 = 0;
+  Time t1 = 0;
+  bool closed = false;       ///< End record seen
+  std::size_t bytes = 0;     ///< Begin bytes (message length for Msg* spans)
+  std::int64_t arg_begin = 0;
+  std::int64_t arg_end = 0;  ///< MpiWait: span id the wait resolved on
+};
+
+/// One WireLand record: the last byte of a wire entry of a message reached
+/// the receiving NIC.
+struct Landing {
+  Time t = 0;
+  int rail = -1;
+  std::size_t bytes = 0;
+};
+
+/// One wait or compute interval on a rank's timeline, sorted by t0.
+struct Interval {
+  Time t0 = 0;
+  Time t1 = 0;
+  bool wait = false;   ///< true: MpiWait, false: Compute
+  SpanId waited = 0;   ///< wait: span the wait resolved on (0 = unknown)
+};
+
+/// One per-iteration analysis window (global extent over all ranks).
+struct IterWindow {
+  int iter = -1;  ///< iteration index; -1 for the synthetic whole-trace window
+  Time t0 = 0;
+  Time t1 = 0;
+  int end_rank = 0;  ///< rank whose Iter span ended last (walk start)
+  /// Per-rank [begin, end] of this iteration's Iter span.
+  std::map<int, std::pair<Time, Time>> per_rank;
+};
+
+/// Parsed view of a Recorder stream: span table, message-match and landing
+/// maps, per-rank activity timelines, iteration windows.
+struct SpanIndex {
+  std::unordered_map<SpanId, SpanInfo> spans;
+  /// receiver's MsgRecv span -> sender's MsgSend span (from MsgMatch links)
+  std::unordered_map<SpanId, SpanId> match;
+  /// sender's MsgSend span -> receiver's MsgRecv span
+  std::unordered_map<SpanId, SpanId> rmatch;
+  /// sender's MsgSend span -> wire landings (multi-rail sends land per entry)
+  std::unordered_map<SpanId, std::vector<Landing>> landings;
+  /// rank -> wait/compute intervals sorted by (t0, t1)
+  std::map<int, std::vector<Interval>> activity;
+  /// iteration windows sorted by iteration index; when the trace has no Iter
+  /// spans this holds one synthetic window covering the whole trace
+  std::vector<IterWindow> iters;
+  bool synthetic_window = false;
+  Time t_min = 0;
+  Time t_max = 0;
+};
+
+SpanIndex build_span_index(const Recorder& rec);
+
+/// What a critical-path segment's time was spent on.
+enum class SegKind : std::uint8_t {
+  Compute,  ///< inside an application Compute span
+  Wire,     ///< message in flight: send post -> last wire landing
+  Sw,       ///< software: overhead gaps, delivery/matching/wakeup tails
+  Blocked,  ///< waiting with no resolvable cause (self-sync, untraced dep)
+};
+
+const char* to_string(SegKind k);
+
+/// One tile of the critical path. Segments are contiguous in time and tile
+/// the iteration window exactly.
+struct PathSegment {
+  int rank = -1;  ///< rank whose timeline the segment lies on (Wire: receiver)
+  Time t0 = 0;
+  Time t1 = 0;
+  SegKind kind = SegKind::Sw;
+  int rail = -1;     ///< Wire: fabric rail index; -1 = shm/self/local
+  SpanId cause = 0;  ///< span that pinned the segment (message / wait), or 0
+  double dur() const { return t1 - t0; }
+};
+
+/// Critical path of one iteration with its per-category breakdown.
+struct IterPath {
+  int iter = -1;
+  Time t_begin = 0;
+  Time t_end = 0;
+  double compute = 0;
+  double wire = 0;
+  double sw = 0;
+  double blocked = 0;
+  /// wire time by fabric rail; key -1 = shm/self/local transport
+  std::map<int, double> wire_by_rail;
+  std::vector<PathSegment> segments;  ///< chronological order
+  double wall() const { return t_end - t_begin; }
+  /// Sum of segment durations — equals wall() up to FP rounding.
+  double path_sum() const { return compute + wire + sw + blocked; }
+};
+
+/// Whole-run result: per-iteration paths plus aggregate breakdown.
+struct CritPathResult {
+  std::vector<IterPath> iterations;
+  double wall = 0;
+  double compute = 0;
+  double wire = 0;
+  double sw = 0;
+  double blocked = 0;
+  std::map<int, double> wire_by_rail;
+  double wire_share() const { return wall > 0 ? wire / wall : 0; }
+};
+
+CritPathResult extract_critical_path(const SpanIndex& idx);
+CritPathResult extract_critical_path(const Recorder& rec);
+
+}  // namespace nmx::obs

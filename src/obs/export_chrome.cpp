@@ -27,7 +27,8 @@ const char* group_of(Cat cat) {
     case Cat::MpiColl: return "mpi";
     case Cat::MsgSend:
     case Cat::MsgRecv: return "msg";
-    case Cat::Compute: return "app";
+    case Cat::Compute:
+    case Cat::Iter: return "app";
     case Cat::PiomanPass: return "pioman";
     case Cat::ShmCell: return "shm";
     default: return "nmad";
@@ -39,6 +40,7 @@ std::string lane_of(const Record& begin) {
   switch (begin.cat) {
     case Cat::MpiWait: return "wait";
     case Cat::Compute: return "compute";
+    case Cat::Iter: return "iteration";
     case Cat::MsgSend: return "msg send";
     case Cat::MsgRecv: return "msg recv";
     case Cat::NmadRdv: return "rdv handshake";
@@ -56,6 +58,7 @@ struct SpanOut {
   std::size_t bytes;
   std::int64_t arg;
   std::size_t order;  // record index of the Begin, for stable layout
+  bool truncated;     // End synthesized at trace end (ring rotated mid-span)
 };
 
 std::string fmt_us(Time t) {
@@ -80,13 +83,12 @@ std::size_t chrome_event_count(const Recorder& rec) {
   return n;
 }
 
-void write_chrome_trace(const Recorder& rec, std::ostream& os) {
+void write_chrome_trace(Recorder& rec, std::ostream& os) {
   const std::vector<Record>& recs = rec.records();
 
   // Pair span begins with their ends.
   std::map<SpanId, std::size_t> open;  // span -> begin record index
   std::vector<SpanOut> spans;
-  std::vector<std::size_t> lone_begins;  // begins with no end: emit as instants
   for (std::size_t i = 0; i < recs.size(); ++i) {
     const Record& r = recs[i];
     if (r.ph == Ph::Begin) {
@@ -96,11 +98,24 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
       if (it == open.end()) continue;  // stray end: drop
       const Record& b = recs[it->second];
       spans.push_back(SpanOut{pid_of(b), lane_of(b), b.t, r.t, b.cat, b.span, b.bytes, b.arg,
-                              it->second});
+                              it->second, false});
       open.erase(it);
     }
   }
-  for (const auto& [id, idx] : open) lone_begins.push_back(idx);
+  // Begins whose End was lost (ring-buffer rotation mid-span, or a trace cut
+  // mid-run): synthesize a close at trace end so the slice still renders with
+  // its true start, and count the truncation instead of silently leaking a
+  // dangling Begin.
+  Time t_last = 0;
+  for (const Record& r : recs) t_last = std::max(t_last, r.t);
+  for (const auto& [id, idx] : open) {
+    const Record& b = recs[idx];
+    spans.push_back(SpanOut{pid_of(b), lane_of(b), b.t, std::max(b.t, t_last), b.cat, b.span,
+                            b.bytes, b.arg, idx, true});
+  }
+  if (!open.empty()) {
+    rec.metrics().counter("nmad.obs.truncated_spans").add(open.size());
+  }
 
   // Layout: spread overlapping spans of one (pid, lane) over numbered
   // sub-lanes (greedy interval partitioning) so slices never overlap within
@@ -177,10 +192,10 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
        << "\",\"ts\":" << fmt_us(s.t0) << ",\"dur\":" << fmt_us(s.t1 - s.t0)
        << ",\"pid\":" << s.pid << ",\"tid\":" << tids[{s.pid, s.lane}]
        << ",\"args\":{\"span\":" << s.span << ",\"bytes\":" << s.bytes << ",\"arg\":" << s.arg
-       << "}}";
+       << (s.truncated ? ",\"truncated\":1" : "") << "}}";
   }
 
-  // Instants (plus unmatched begins, so no record is silently lost).
+  // Instants.
   auto emit_instant = [&](const Record& r) {
     sep();
     os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << to_string(r.cat) << "\",\"cat\":\""
@@ -191,7 +206,6 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
   for (const Record& r : recs) {
     if (r.ph == Ph::Instant) emit_instant(r);
   }
-  for (std::size_t idx : lone_begins) emit_instant(recs[idx]);
 
   // Counter tracks: Perfetto renders each (pid, name) as a line chart.
   for (const CounterSample& s : rec.samples()) {
@@ -204,7 +218,7 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
   os << "\n]}\n";
 }
 
-bool write_chrome_trace_file(const Recorder& rec, const std::string& path) {
+bool write_chrome_trace_file(Recorder& rec, const std::string& path) {
   std::ofstream os(path);
   if (!os) return false;
   write_chrome_trace(rec, os);

@@ -15,13 +15,17 @@ namespace nmx::obs {
 
 class Recorder;
 
-void write_chrome_trace(const Recorder& rec, std::ostream& os);
+/// Non-const: spans whose End was lost (ring-buffer rotation mid-span) get a
+/// synthesized close at trace end and tick the `nmad.obs.truncated_spans`
+/// metrics counter on `rec`.
+void write_chrome_trace(Recorder& rec, std::ostream& os);
 
 /// Number of trace events (excluding metadata) write_chrome_trace emits:
-/// one per instant record plus one per span. Lets tests round-trip counts.
+/// one per instant record plus one per span (truncated spans included — they
+/// export as slices closed at trace end). Lets tests round-trip counts.
 std::size_t chrome_event_count(const Recorder& rec);
 
 /// Convenience: write to `path`. Returns false if the file cannot be opened.
-bool write_chrome_trace_file(const Recorder& rec, const std::string& path);
+bool write_chrome_trace_file(Recorder& rec, const std::string& path);
 
 }  // namespace nmx::obs

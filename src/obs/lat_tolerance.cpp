@@ -1,0 +1,277 @@
+#include "obs/lat_tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nmx::obs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Latency search floor: the bound is max(this, baseline wall) — a rail
+/// that absorbs a whole baseline wall of extra lambda without moving the
+/// wall is reported as unbounded (-1).
+constexpr double kMaxLambdaAdd = 0.1;
+
+}  // namespace
+
+RetimeModel::RetimeModel(const SpanIndex& idx, std::vector<RailParam> rails)
+    : rails_(std::move(rails)) {
+  windows_.reserve(idx.iters.size());
+  for (const IterWindow& iw : idx.iters) {
+    Window w;
+    w.t0 = iw.t0;
+    w.t1 = iw.t1;
+    w.per_rank = iw.per_rank;
+    if (w.per_rank.empty()) {
+      // Synthetic whole-trace window: every active rank spans the window.
+      for (const auto& [rank, v] : idx.activity) {
+        (void)v;
+        w.per_rank[rank] = {w.t0, w.t1};
+      }
+    }
+    for (const auto& [rank, be] : w.per_rank) {
+      const auto it_act = idx.activity.find(rank);
+      if (it_act == idx.activity.end()) continue;
+      for (const Interval& iv : it_act->second) {
+        if (!iv.wait) continue;
+        if (iv.t1 <= be.first + kEps || iv.t1 > be.second + kEps) continue;
+        Node n;
+        n.rank = rank;
+        n.w0 = std::max(iv.t0, be.first);
+        n.w1 = iv.t1;
+        // Resolve the wait's cause the same way the critical-path walk does.
+        const auto si = idx.spans.find(iv.waited);
+        if (iv.waited != 0 && si != idx.spans.end()) {
+          const SpanInfo& s = si->second;
+          SpanId wire_span = 0;  // span whose landings carry the wire cost
+          if (s.cat == Cat::MsgRecv) {
+            const auto mi = idx.match.find(iv.waited);
+            if (mi != idx.match.end()) {
+              const auto pi = idx.spans.find(mi->second);
+              if (pi != idx.spans.end() && pi->second.t0 < n.w1 - kEps) {
+                n.has_edge = true;
+                n.src_rank = pi->second.rank;
+                n.t_post = pi->second.t0;
+                wire_span = mi->second;
+              }
+            }
+          } else if (s.cat == Cat::MsgSend) {
+            // Send completion: bound by the receiver posting late
+            // (rendezvous) or by our own post (egress-bound).
+            const auto ri = idx.rmatch.find(iv.waited);
+            const SpanInfo* recv = nullptr;
+            if (ri != idx.rmatch.end()) {
+              const auto pi = idx.spans.find(ri->second);
+              if (pi != idx.spans.end()) recv = &pi->second;
+            }
+            if (recv != nullptr && recv->t0 > s.t0 + kEps &&
+                recv->t0 < n.w1 - kEps) {
+              n.has_edge = true;
+              n.src_rank = recv->rank;
+              n.t_post = recv->t0;
+            } else if (s.t0 < n.w1 - kEps) {
+              n.has_edge = true;
+              n.src_rank = rank;  // self: chain from our own post
+              n.t_post = s.t0;
+            }
+            if (n.has_edge) wire_span = iv.waited;
+          }
+          if (n.has_edge && wire_span != 0) {
+            const auto li = idx.landings.find(wire_span);
+            if (li != idx.landings.end()) {
+              std::map<int, RailOff> by_rail;
+              for (const Landing& L : li->second) {
+                if (L.t > n.w1 + kEps) continue;
+                RailOff& ro = by_rail[L.rail];
+                ro.rail = L.rail;
+                ro.off = std::max(ro.off, L.t - n.t_post);
+                ro.bytes += static_cast<double>(L.bytes);
+              }
+              for (const auto& [rail, ro] : by_rail) {
+                n.base_off = std::max(n.base_off, ro.off);
+                n.rails.push_back(ro);
+              }
+            }
+          }
+        }
+        w.nodes.push_back(std::move(n));
+      }
+    }
+    std::sort(w.nodes.begin(), w.nodes.end(), [](const Node& a, const Node& b) {
+      if (a.w1 != b.w1) return a.w1 < b.w1;
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.w0 < b.w0;
+    });
+    measured_ += w.t1 - w.t0;
+    windows_.push_back(std::move(w));
+  }
+}
+
+double RetimeModel::edge_delta(const Node& n, const Perturbation& p) const {
+  if (n.rails.empty()) return 0;  // shm/self: rail params don't apply
+  double pert_off = 0;
+  for (const RailOff& ro : n.rails) {
+    double off = ro.off;
+    if (const auto it = p.add_lambda.find(ro.rail); it != p.add_lambda.end()) {
+      off += it->second;
+    }
+    if (const auto it = p.beta_scale.find(ro.rail);
+        it != p.beta_scale.end() && it->second > 0 &&
+        ro.rail >= 0 && ro.rail < static_cast<int>(rails_.size())) {
+      const double beta = rails_[static_cast<std::size_t>(ro.rail)].beta;
+      if (beta > 0) off += ro.bytes * (1.0 / (beta * it->second) - 1.0 / beta);
+    }
+    pert_off = std::max(pert_off, off);
+  }
+  return pert_off - n.base_off;
+}
+
+double RetimeModel::predict_window(const Window& w, const Perturbation& p) const {
+  // rank -> processed anchors [(measured wait end, new time)], increasing.
+  std::map<int, std::vector<std::pair<double, double>>> anchors;
+
+  // New time of rank `rank` at measured instant `t` (while running): the
+  // last anchor at or before `t` shifted by the measured running time since.
+  // Before the first anchor, times are fixed (the window base is an input).
+  auto new_at = [&](int rank, double t) -> double {
+    const auto it = anchors.find(rank);
+    if (it == anchors.end() || it->second.empty()) return t;
+    const std::vector<std::pair<double, double>>& v = it->second;
+    const auto a = std::upper_bound(
+        v.begin(), v.end(), t + kEps,
+        [](double x, const std::pair<double, double>& e) { return x < e.first; });
+    if (a == v.begin()) return t;
+    const auto& [meas, nt] = *std::prev(a);
+    return nt + (t - meas);
+  };
+
+  for (const Node& n : w.nodes) {
+    double p_meas = w.t0, p_new = w.t0;
+    if (const auto it = w.per_rank.find(n.rank); it != w.per_rank.end()) {
+      p_meas = p_new = it->second.first;
+    }
+    auto& v = anchors[n.rank];
+    if (!v.empty()) {
+      p_meas = v.back().first;
+      p_new = v.back().second;
+    }
+    // Local edge: running time up to the wait entry is fixed; a resolved
+    // wait's blocked time is slack, an unresolved one keeps its elapsed.
+    double nt = p_new + (n.w0 - p_meas) + (n.has_edge ? 0 : (n.w1 - n.w0));
+    if (n.has_edge) {
+      const double post_new = new_at(n.src_rank, n.t_post);
+      const double edge = post_new + (n.w1 - n.t_post) + edge_delta(n, p);
+      nt = std::max(nt, edge);
+    }
+    v.emplace_back(n.w1, nt);
+  }
+
+  double begin = std::numeric_limits<double>::infinity();
+  double end = -std::numeric_limits<double>::infinity();
+  for (const auto& [rank, be] : w.per_rank) {
+    begin = std::min(begin, be.first);
+    double meas = be.first, nt = be.first;
+    if (const auto it = anchors.find(rank);
+        it != anchors.end() && !it->second.empty()) {
+      meas = it->second.back().first;
+      nt = it->second.back().second;
+    }
+    end = std::max(end, nt + (be.second - meas));
+  }
+  if (!std::isfinite(begin) || !std::isfinite(end)) return w.t1 - w.t0;
+  return end - begin;
+}
+
+double RetimeModel::baseline_wall() const { return predict(Perturbation{}); }
+
+double RetimeModel::predict(const Perturbation& p) const {
+  double total = 0;
+  for (const Window& w : windows_) total += predict_window(w, p);
+  return total;
+}
+
+double retime_wall(const SpanIndex& idx, const std::vector<RailParam>& rails,
+                   const Perturbation& pert) {
+  return RetimeModel(idx, rails).predict(pert);
+}
+
+namespace {
+
+/// Smallest add_lambda on `rail` that grows the predicted wall by `growth`;
+/// -1 when kMaxLambdaAdd is not enough (the rail is off the critical path).
+double tolerance_for(const RetimeModel& model, double baseline, int rail,
+                     double growth) {
+  if (baseline <= 0) return -1;
+  const double target = baseline * (1.0 + growth);
+  auto wall_at = [&](double add) {
+    Perturbation p;
+    p.add_lambda[rail] = add;
+    return model.predict(p);
+  };
+  const double cap = std::max(kMaxLambdaAdd, baseline);
+  double hi = 1e-6;
+  while (wall_at(hi) < target) {
+    hi *= 2;
+    if (hi > cap) return -1;
+  }
+  double lo = 0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (wall_at(mid) < target ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+}  // namespace
+
+ToleranceReport analyze_latency_tolerance(const SpanIndex& idx,
+                                          const CritPathResult& cp,
+                                          const std::vector<RailParam>& rails) {
+  ToleranceReport rep;
+  RetimeModel model(idx, rails);
+  rep.measured_wall = model.measured_wall();
+  rep.model_wall = model.baseline_wall();
+  rep.model_error = rep.measured_wall > 0
+                        ? std::abs(rep.model_wall - rep.measured_wall) / rep.measured_wall
+                        : 0;
+
+  double best_wire = 0;
+  for (const auto& [rail, d] : cp.wire_by_rail) {
+    if (rail >= 0 && d > best_wire) {
+      best_wire = d;
+      rep.critical_rail = rail;
+    }
+  }
+
+  const double baseline = rep.model_wall;
+  for (int rail = 0; rail < static_cast<int>(rails.size()); ++rail) {
+    RailTolerance rt;
+    rt.rail = rail;
+    rt.name = rails[static_cast<std::size_t>(rail)].name;
+    if (const auto it = cp.wire_by_rail.find(rail); it != cp.wire_by_rail.end()) {
+      rt.wire_time = it->second;
+    }
+    rt.wire_share = cp.wall > 0 ? rt.wire_time / cp.wall : 0;
+    rt.tol_1pct = tolerance_for(model, baseline, rail, 0.01);
+    rt.tol_5pct = tolerance_for(model, baseline, rail, 0.05);
+    rt.tol_10pct = tolerance_for(model, baseline, rail, 0.10);
+    rep.rails.push_back(std::move(rt));
+
+    for (const double scale : {1.5, 2.0, 4.0, 8.0}) {
+      Perturbation p;
+      p.add_lambda[rail] =
+          (scale - 1.0) * rails[static_cast<std::size_t>(rail)].lambda;
+      SweepPoint sp;
+      sp.rail = rail;
+      sp.lambda_scale = scale;
+      sp.wall_growth = baseline > 0 ? model.predict(p) / baseline - 1.0 : 0;
+      rep.sweep.push_back(sp);
+    }
+  }
+  return rep;
+}
+
+}  // namespace nmx::obs

@@ -1,0 +1,137 @@
+// LLAMP-style latency-tolerance analysis: re-time the happens-before DAG of
+// a traced run under perturbed rail parameters without re-running the
+// simulation.
+//
+// Model. Each rank's timeline inside an iteration window is a chain of wait
+// intervals (anchors). A wait either resolved on a message (MpiWait End arg
+// -> MsgMatch -> WireLand chain) or its cause is unknown. New times
+// propagate forward:
+//
+//   * local edge — the running time between consecutive anchors is a fixed
+//     cost; the *blocked* portion of a resolved wait is slack (it shrinks or
+//     stretches as the message edge moves).
+//   * message edge — new_completion >= new_post + measured_tail + delta,
+//     where the measured tail is (wait end - sender post) and delta re-costs
+//     the wire portion under the perturbation: per rail,
+//       delta_r = add_lambda_r + bytes_r * (1/(beta_r * scale_r) - 1/beta_r)
+//     applied to that rail's landing offset; the slowest rail wins (a
+//     multirail message completes when its last stripe lands). Messages with
+//     no wire landings (shm/self) get delta = 0.
+//   * unresolved waits keep their full measured elapsed time (conservative:
+//     an unknown dependency neither shrinks nor grows).
+//
+// With a zero perturbation the model reproduces every measured wait end
+// exactly, so model_error is a pure self-check of DAG reconstruction.
+//
+// Latency tolerance of a rail = how much one-way latency (seconds added to
+// lambda) the application absorbs before predicted wall time grows by a
+// given fraction — the LLAMP question (arXiv:2404.14193) answered from one
+// trace instead of an LP solve per point.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hpp"
+
+namespace nmx::obs {
+
+/// Analytic parameters of one fabric rail, indexed by fabric rail id.
+/// lambda: fixed per-message latency (wire latency + per-message overhead);
+/// beta: sustained bandwidth (bytes/s). Built by callers from net::NicProfile.
+struct RailParam {
+  std::string name;
+  double lambda = 0;
+  double beta = 0;
+};
+
+/// A what-if point: per-rail additive latency and bandwidth scaling.
+struct Perturbation {
+  std::map<int, double> add_lambda;  ///< rail -> seconds added to lambda
+  std::map<int, double> beta_scale;  ///< rail -> multiplier on beta (1 = unchanged)
+};
+
+/// Forward re-timing model built once from a SpanIndex; predict() is cheap,
+/// so tolerance searches can bisect over many perturbations.
+class RetimeModel {
+ public:
+  RetimeModel(const SpanIndex& idx, std::vector<RailParam> rails);
+
+  /// Sum of measured window wall times (what the simulator reported).
+  double measured_wall() const { return measured_; }
+  /// Model output at zero perturbation — equals measured_wall() up to FP
+  /// rounding when every wait's cause was reconstructed.
+  double baseline_wall() const;
+  /// Model output under `p`.
+  double predict(const Perturbation& p) const;
+
+ private:
+  struct RailOff {
+    int rail = -1;
+    double off = 0;    ///< landing time - sender post (measured wire stretch)
+    double bytes = 0;  ///< bytes this rail carried for the message
+  };
+  struct Node {
+    int rank = -1;
+    double w0 = 0, w1 = 0;  ///< measured wait interval
+    bool has_edge = false;
+    int src_rank = -1;   ///< rank whose post bounds the completion
+    double t_post = 0;   ///< measured post time on src_rank
+    double base_off = 0; ///< max measured rail offset (0: shm/self)
+    std::vector<RailOff> rails;
+  };
+  struct Window {
+    double t0 = 0, t1 = 0;
+    std::map<int, std::pair<double, double>> per_rank;  ///< rank -> [begin,end]
+    std::vector<Node> nodes;  ///< sorted by (w1, rank)
+  };
+
+  double predict_window(const Window& w, const Perturbation& p) const;
+  double edge_delta(const Node& n, const Perturbation& p) const;
+
+  std::vector<Window> windows_;
+  std::vector<RailParam> rails_;
+  double measured_ = 0;
+};
+
+/// Convenience: predicted total wall of the traced run under `pert`.
+double retime_wall(const SpanIndex& idx, const std::vector<RailParam>& rails,
+                   const Perturbation& pert);
+
+/// Per-rail tolerance summary. Tolerances are seconds of lambda the rail can
+/// gain before predicted wall grows past the threshold; negative = the model
+/// never reaches the threshold within the search bound (latency-insensitive).
+struct RailTolerance {
+  int rail = -1;
+  std::string name;
+  double wire_time = 0;   ///< critical-path wire seconds on this rail
+  double wire_share = 0;  ///< fraction of critical-path wall
+  double tol_1pct = -1;
+  double tol_5pct = -1;
+  double tol_10pct = -1;
+};
+
+/// One sweep sample: lambda scaled by `lambda_scale` on `rail` only.
+struct SweepPoint {
+  int rail = -1;
+  double lambda_scale = 1;
+  double wall_growth = 0;  ///< predicted wall / baseline - 1
+};
+
+struct ToleranceReport {
+  double measured_wall = 0;
+  double model_wall = 0;
+  double model_error = 0;  ///< |model - measured| / measured (self-check)
+  int critical_rail = -1;  ///< rail carrying the most critical-path wire time
+  std::vector<RailTolerance> rails;
+  std::vector<SweepPoint> sweep;
+};
+
+/// Full analysis: build the model, self-check it, bisect per-rail tolerances
+/// at 1/5/10% wall growth, and sweep lambda scales {1.5, 2, 4, 8} per rail.
+ToleranceReport analyze_latency_tolerance(const SpanIndex& idx,
+                                          const CritPathResult& cp,
+                                          const std::vector<RailParam>& rails);
+
+}  // namespace nmx::obs

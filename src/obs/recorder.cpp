@@ -23,6 +23,9 @@ const char* to_string(Cat cat) {
     case Cat::RdvCts: return "RDV_CTS";
     case Cat::RdvData: return "RDV_DATA";
     case Cat::Unexpected: return "UNEXPECTED";
+    case Cat::Iter: return "ITER";
+    case Cat::MsgMatch: return "MSG_MATCH";
+    case Cat::WireLand: return "WIRE_LAND";
   }
   return "?";
 }

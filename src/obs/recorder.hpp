@@ -47,7 +47,16 @@ enum class Cat : std::uint8_t {
   RdvCts,       ///< CTS granted by the receiver
   RdvData,      ///< rendezvous data chunk landed
   Unexpected,   ///< message arrived with no posted request
+  Iter,         ///< one timed application iteration (span; arg = iter index)
+  MsgMatch,     ///< recv completed: link record, span = receiver's MsgRecv
+                ///< span, arg = sender's MsgSend span (0 when unknown)
+  WireLand,     ///< last byte of a wire entry landed: link record, span =
+                ///< sender's MsgSend span, arg = fabric rail index
 };
+
+/// Number of enumerators in Cat — bound for per-category tables/bitmasks.
+inline constexpr std::size_t kNumCats = static_cast<std::size_t>(Cat::WireLand) + 1;
+static_assert(kNumCats <= 32, "Cat enable mask is a uint32_t bitmask");
 
 const char* to_string(Cat cat);
 
@@ -79,11 +88,23 @@ struct CounterSample {
 class Recorder {
  public:
   void instant(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
+    if (!enabled(cat)) return;
     push_record(Record{t, rank, cat, Ph::Instant, 0, bytes, arg});
   }
 
-  /// Open a span and return its id (always nonzero).
+  /// Link record: an Instant that *references* an existing span instead of
+  /// opening one (MsgMatch naming the receiver's span, WireLand naming the
+  /// sender's). Kept out of begin/end accounting — the span field is a
+  /// cross-reference, not a lifetime edge.
+  void link(Time t, int rank, Cat cat, SpanId span, std::size_t bytes = 0, std::int64_t arg = 0) {
+    if (!enabled(cat)) return;
+    push_record(Record{t, rank, cat, Ph::Instant, span, bytes, arg});
+  }
+
+  /// Open a span and return its id (always nonzero when recorded; 0 when the
+  /// category is disabled, which makes the matching end() a no-op).
   SpanId begin(Time t, int rank, Cat cat, std::size_t bytes = 0, std::int64_t arg = 0) {
+    if (!enabled(cat)) return 0;
     const SpanId id = next_span_++;
     push_record(Record{t, rank, cat, Ph::Begin, id, bytes, arg});
     ++begun_;
@@ -91,12 +112,32 @@ class Recorder {
   }
 
   /// Close span `id`. No-op when `id` is 0 (span opened with no recorder
-  /// attached), so callers may invoke it unconditionally.
+  /// attached or with the category disabled), so callers may invoke it
+  /// unconditionally.
   void end(Time t, int rank, Cat cat, SpanId id, std::size_t bytes = 0, std::int64_t arg = 0) {
-    if (id == 0) return;
+    if (id == 0 || !enabled(cat)) return;
     push_record(Record{t, rank, cat, Ph::End, id, bytes, arg});
     ++ended_;
   }
+
+  // --- per-category enable masks -------------------------------------------
+  // Hot benches can drop categories they never analyze; a disabled category
+  // costs one bit test in instant/begin/end/link. Disabling a category
+  // between a begin and its end truncates that span (the End is suppressed
+  // too), which the exporter's synthesized-close path then flags.
+
+  void set_enabled(Cat cat, bool on) {
+    const std::uint32_t bit = 1u << static_cast<unsigned>(cat);
+    if (on) {
+      mask_ |= bit;
+    } else {
+      mask_ &= ~bit;
+    }
+  }
+  bool enabled(Cat cat) const { return mask_ & (1u << static_cast<unsigned>(cat)); }
+  /// Raw bitmask, bit i = Cat(i) enabled. All-ones by default.
+  std::uint32_t enabled_mask() const { return mask_; }
+  void set_enabled_mask(std::uint32_t mask) { mask_ = mask; }
 
   /// Append a point to counter track `track` (created on first use).
   void sample(Time t, int rank, std::string track, double value) {
@@ -183,6 +224,7 @@ class Recorder {
   mutable std::size_t rec_start_ = 0;
   mutable std::size_t samp_start_ = 0;
   std::size_t cap_ = 0;  ///< 0: unbounded
+  std::uint32_t mask_ = ~0u;  ///< per-Cat enable bits; configuration, survives clear()
   std::uint64_t dropped_records_ = 0;
   std::uint64_t dropped_samples_ = 0;
   Registry metrics_;

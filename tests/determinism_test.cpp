@@ -44,7 +44,7 @@ Artifacts run_once(const mpi::ClusterConfig& cfg) {
   });
 
   Artifacts a;
-  const obs::Recorder* rec = cluster.recorder();
+  obs::Recorder* rec = cluster.recorder();
   EXPECT_NE(rec, nullptr);
   std::ostringstream metrics, trace;
   obs::write_metrics_csv(*rec, metrics);

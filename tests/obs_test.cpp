@@ -246,7 +246,7 @@ TEST(RecorderRing, ClearResetsRingState) {
 TEST(ObsCluster, EverySpanOfACompletedRunIsBalanced) {
   mpi::Cluster& cluster = traced_cluster();
   ASSERT_NE(cluster.recorder(), nullptr);
-  const obs::Recorder& rec = *cluster.recorder();
+  obs::Recorder& rec = *cluster.recorder();
   EXPECT_GT(rec.spans_begun(), 0u);
   EXPECT_EQ(rec.spans_begun(), rec.spans_ended());
   EXPECT_TRUE(rec.unbalanced_spans().empty());
@@ -291,7 +291,7 @@ TEST(ObsCluster, MetricsCoverEveryLayer) {
 
 TEST(ObsCluster, RailByteCountersMatchTheTraceStream) {
   mpi::Cluster& cluster = traced_cluster();
-  const obs::Recorder& rec = *cluster.recorder();
+  obs::Recorder& rec = *cluster.recorder();
 
   // Sum of the per-rail tx byte counters == bytes carried by NmadTx spans.
   std::uint64_t from_counters = 0;
@@ -344,7 +344,7 @@ TEST(Exporters, ChromeTraceIsStructurallyValidJson) {
 
 TEST(Exporters, ChromeEventCountMatchesTheEmittedEvents) {
   mpi::Cluster& cluster = traced_cluster();
-  const obs::Recorder& rec = *cluster.recorder();
+  obs::Recorder& rec = *cluster.recorder();
   std::ostringstream os;
   obs::write_chrome_trace(rec, os);
   const std::string json = os.str();
@@ -384,7 +384,7 @@ TEST(Exporters, CounterSamplesBecomeChromeCounterTracks) {
 
 TEST(Exporters, SchedulerCounterTracksAppearInTheClusterTrace) {
   mpi::Cluster& cluster = traced_cluster();
-  const obs::Recorder& rec = *cluster.recorder();
+  obs::Recorder& rec = *cluster.recorder();
   ASSERT_GT(rec.samples().size(), 0u);  // nmad core sampled its scheduler state
 
   std::ostringstream os;
@@ -397,7 +397,7 @@ TEST(Exporters, SchedulerCounterTracksAppearInTheClusterTrace) {
 
 TEST(Exporters, EventsCsvHasOneRowPerRecord) {
   mpi::Cluster& cluster = traced_cluster();
-  const obs::Recorder& rec = *cluster.recorder();
+  obs::Recorder& rec = *cluster.recorder();
   std::ostringstream os;
   obs::write_events_csv(rec, os);
   const std::string csv = os.str();
@@ -444,6 +444,72 @@ TEST(TracerShim, SummaryMatchesTheRecorderStream) {
   // events() is the same stream minus the Ends, still time-ordered.
   const auto ev = tr.events();
   EXPECT_EQ(ev.size(), rec.size() - rec.spans_ended());
+}
+
+// ---------------------------------------------------------------------------
+// Per-category enable masks
+// ---------------------------------------------------------------------------
+
+TEST(Recorder, CategoryEnableMaskSuppressesRecords) {
+  obs::Recorder rec;
+  EXPECT_TRUE(rec.enabled(obs::Cat::Compute));
+  rec.set_enabled(obs::Cat::Compute, false);
+  EXPECT_FALSE(rec.enabled(obs::Cat::Compute));
+
+  // A disabled category records nothing through any entry point, and the
+  // 0 span id from begin() makes the matching end() a no-op.
+  const obs::SpanId dead = rec.begin(1.0, 0, obs::Cat::Compute);
+  EXPECT_EQ(dead, 0u);
+  rec.end(2.0, 0, obs::Cat::Compute, dead);
+  rec.instant(1.0, 0, obs::Cat::Compute);
+  rec.link(1.0, 0, obs::Cat::Compute, 7);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.spans_begun(), 0u);
+
+  // Other categories are unaffected.
+  const obs::SpanId live = rec.begin(1.0, 0, obs::Cat::MpiWait);
+  EXPECT_NE(live, 0u);
+  rec.end(2.0, 0, obs::Cat::MpiWait, live);
+  EXPECT_EQ(rec.size(), 2u);
+
+  rec.set_enabled(obs::Cat::Compute, true);
+  EXPECT_NE(rec.begin(3.0, 0, obs::Cat::Compute), 0u);
+}
+
+TEST(Recorder, EnableMaskRoundTripsAndSurvivesClear) {
+  obs::Recorder rec;
+  const std::uint32_t all = rec.enabled_mask();
+  rec.set_enabled(obs::Cat::ShmCell, false);
+  EXPECT_EQ(rec.enabled_mask(),
+            all & ~(1u << static_cast<unsigned>(obs::Cat::ShmCell)));
+  rec.clear();  // mask is configuration, not data
+  EXPECT_FALSE(rec.enabled(obs::Cat::ShmCell));
+  rec.set_enabled_mask(all);
+  EXPECT_TRUE(rec.enabled(obs::Cat::ShmCell));
+}
+
+// ---------------------------------------------------------------------------
+// Exporter: dangling-Begin truncation
+// ---------------------------------------------------------------------------
+
+TEST(ChromeExport, SynthesizesCloseForDanglingBegins) {
+  obs::Recorder rec;
+  const obs::SpanId a = rec.begin(1.0, 0, obs::Cat::Compute);
+  rec.end(2.0, 0, obs::Cat::Compute, a);
+  rec.begin(1.5, 0, obs::Cat::MpiWait);  // End never recorded
+
+  std::ostringstream os;
+  obs::write_chrome_trace(rec, os);
+  const std::string json = os.str();
+
+  // The dangling span still renders as a complete slice, closed at trace
+  // end and flagged, and the truncation counter ticks.
+  EXPECT_EQ(count_occurrences(json, "\"truncated\":1"), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(obs::chrome_event_count(rec), 2u);
+  const obs::Counter* c = rec.metrics().find_counter("nmad.obs.truncated_spans");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 1u);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_engine.json against the checked-in baseline.
+"""Gate bench results against checked-in baselines.
 
-Fails (exit 1) when:
+Engine-throughput gate (positional args). Fails (exit 1) when:
   * any (bench, ranks) series present in both files lost more than the
     allowed fraction of events/sec (--max-loss, default 0.25), or
   * any series grew its peak RSS by more than the allowed fraction
@@ -11,12 +11,27 @@ Fails (exit 1) when:
     less and less. Removing a bench on purpose means updating the baseline
     in the same change.
 
-Faster-than-baseline results pass and print a hint to refresh the baseline.
-A new bench with no baseline entry is reported but not fatal, so adding a
-bench does not require touching CI in the same commit.
+Critical-path composition gate (--report / --report-baseline). The
+simulation is deterministic, so a report.json produced by a bench is stable
+until the protocol actually changes. Fails when:
+  * a run's wire share drifted more than --max-wire-drift (absolute share
+    points) from the baseline — a composition shift flags a protocol or
+    scheduling change even when wall time stays put, or
+  * the latency-tolerance model's self-check error exceeds
+    --max-model-error — the re-timed DAG no longer reproduces the measured
+    wall, i.e. trace reconstruction broke, or
+  * any iteration's critical-path segments no longer tile its wall time
+    within 1%, or
+  * a baseline run is missing from the current report.
 
-Usage: check_bench_regression.py <current.json> <baseline.json>
+Faster-than-baseline results pass and print a hint to refresh the baseline.
+A new series/run with no baseline entry is reported but not fatal, so adding
+one does not require touching CI in the same commit.
+
+Usage: check_bench_regression.py [<current.json> <baseline.json>]
            [--max-loss=0.25] [--max-rss-gain=0.5]
+           [--report=R.report.json --report-baseline=BASE.report.json]
+           [--max-wire-drift=0.05] [--max-model-error=0.02]
 """
 
 import json
@@ -29,19 +44,8 @@ def load(path):
     return {(r["bench"], r.get("ranks", 0)): r for r in rows}
 
 
-def main(argv):
-    if len(argv) < 3:
-        print(__doc__)
-        return 2
-    max_loss = 0.25
-    max_rss_gain = 0.5
-    for a in argv[3:]:
-        if a.startswith("--max-loss="):
-            max_loss = float(a.split("=", 1)[1])
-        elif a.startswith("--max-rss-gain="):
-            max_rss_gain = float(a.split("=", 1)[1])
-    current, baseline = load(argv[1]), load(argv[2])
-
+def check_engine(cur_path, base_path, max_loss, max_rss_gain):
+    current, baseline = load(cur_path), load(base_path)
     failed = False
     for key in sorted(set(current) | set(baseline)):
         name = f"{key[0]}@{key[1]}ranks"
@@ -74,6 +78,99 @@ def main(argv):
                 print(f"  {name}: rss {cur_rss:.1f}MB vs baseline "
                       f"{base_rss:.1f}MB ({gain:+.1%}) "
                       f"FAIL (>{max_rss_gain:.0%} memory growth)")
+    return failed
+
+
+def load_report(path):
+    with open(path) as f:
+        rep = json.load(f)
+    return {run["name"]: run for run in rep.get("runs", [])}
+
+
+def check_report(cur_path, base_path, max_wire_drift, max_model_error):
+    current = load_report(cur_path)
+    baseline = load_report(base_path) if base_path else {}
+    failed = False
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            print(f"  report {name}: FAIL — in baseline but missing from this "
+                  "run (dropped run? update the baseline if intentional)")
+            failed = True
+            continue
+        run = current[name]
+        cp = run["critpath"]
+        # Internal invariant first: segments must tile each iteration.
+        for it in cp.get("iterations", []):
+            wall = it["wall"]
+            if wall > 0 and abs(it["path_sum"] - wall) > 0.01 * wall:
+                print(f"  report {name}: FAIL — iteration {it['iter']} "
+                      f"critical path sums to {it['path_sum']:.6g}s but wall "
+                      f"is {wall:.6g}s (>1% apart: extraction broke)")
+                failed = True
+        err = run["latency_tolerance"]["model_error"]
+        if err > max_model_error:
+            print(f"  report {name}: FAIL — re-timing self-check error "
+                  f"{err:.2%} (> {max_model_error:.0%}): DAG reconstruction "
+                  "no longer reproduces the measured wall")
+            failed = True
+        if name not in baseline:
+            print(f"  report {name}: new run, no baseline yet "
+                  f"(wire share {cp['wire_share']:.1%})")
+            continue
+        base_share = baseline[name]["critpath"]["wire_share"]
+        drift = cp["wire_share"] - base_share
+        verdict = "OK"
+        if abs(drift) > max_wire_drift:
+            verdict = (f"FAIL (composition drift > "
+                       f"{max_wire_drift * 100:.0f} share points)")
+            failed = True
+        print(f"  report {name}: wire share {cp['wire_share']:.1%} vs "
+              f"baseline {base_share:.1%} ({drift * 100:+.1f}pt), "
+              f"model error {err:.2%} {verdict}")
+    return failed
+
+
+def main(argv):
+    positional = []
+    max_loss = 0.25
+    max_rss_gain = 0.5
+    report = None
+    report_baseline = None
+    max_wire_drift = 0.05
+    max_model_error = 0.02
+    for a in argv[1:]:
+        if a.startswith("--max-loss="):
+            max_loss = float(a.split("=", 1)[1])
+        elif a.startswith("--max-rss-gain="):
+            max_rss_gain = float(a.split("=", 1)[1])
+        elif a.startswith("--report="):
+            report = a.split("=", 1)[1]
+        elif a.startswith("--report-baseline="):
+            report_baseline = a.split("=", 1)[1]
+        elif a.startswith("--max-wire-drift="):
+            max_wire_drift = float(a.split("=", 1)[1])
+        elif a.startswith("--max-model-error="):
+            max_model_error = float(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            print(f"unknown option: {a}")
+            print(__doc__)
+            return 2
+        else:
+            positional.append(a)
+    if not positional and report is None:
+        print(__doc__)
+        return 2
+    if len(positional) not in (0, 2):
+        print(__doc__)
+        return 2
+
+    failed = False
+    if positional:
+        failed |= check_engine(positional[0], positional[1], max_loss,
+                               max_rss_gain)
+    if report is not None:
+        failed |= check_report(report, report_baseline, max_wire_drift,
+                               max_model_error)
     return 1 if failed else 0
 
 
