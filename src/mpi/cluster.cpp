@@ -30,6 +30,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
                            ? net::Topology::cyclic(cfg_.nodes, cfg_.procs, cfg_.rails)
                            : net::Topology::blocked(cfg_.nodes, cfg_.procs, cfg_.rails);
   fabric_ = std::make_unique<net::Fabric>(eng_, topo);
+  if (!cfg_.faults.empty()) {
+    fault_plan_ = std::make_unique<sim::FaultPlan>(cfg_.faults);
+    fabric_->set_fault_plan(fault_plan_.get());
+  }
   const net::Topology& t = fabric_->topology();
 
   // Per-node infrastructure: shared-memory region (when >1 local process)
@@ -59,6 +63,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         c.nmad.adaptive_split = cfg_.adaptive_split;
         c.nmad.rdv_quantum = cfg_.rdv_quantum;
         c.nmad.advertise_rdv_load = cfg_.two_ended_rdv;
+        c.nmad.rdv_retry_timeout = cfg_.rdv_retry_timeout;
+        c.nmad.beta_relearn = cfg_.beta_relearn;
+        c.nmad.fault_plan = fault_plan_.get();
         c.nmad.rails.clear();
         if (auto rr = cfg_.rank_rails.find(p); rr != cfg_.rank_rails.end()) {
           c.nmad.rails = rr->second;
@@ -92,6 +99,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
       }
     }
   }
+  // Arm after every transport exists: the cores' rail-down/restart listeners
+  // are registered in their constructors, and arm() schedules the timed
+  // faults that will invoke them.
+  if (fault_plan_ != nullptr) fault_plan_->arm(eng_);
 }
 
 Cluster::~Cluster() = default;

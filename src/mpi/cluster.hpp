@@ -16,6 +16,7 @@
 #include "net/router.hpp"
 #include "nmad/types.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace nmx::mpi {
 
@@ -61,6 +62,18 @@ struct ClusterConfig {
 
   /// Record a sim::Tracer event stream (Cluster::tracer()).
   bool trace = false;
+
+  // Chaos / fault injection (Mpich2Nmad only)
+  /// Deterministic fault schedule; empty = healthy run (no FaultPlan is
+  /// built, so the hot path never even branches on it).
+  sim::FaultSpec faults;
+  /// CTS-timeout RTS retransmission (0 = off, the default — see
+  /// nmad::Config::rdv_retry_timeout).
+  Time rdv_retry_timeout = 0;
+  /// Feed measured egress occupancy back into the bandwidth model (silent
+  /// degradation recovery). On by default; exact-model healthy runs are
+  /// unaffected because the observed beta equals the fitted one.
+  bool beta_relearn = true;
 };
 
 class Cluster {
@@ -90,10 +103,13 @@ class Cluster {
   sim::Tracer* tracer() { return tracer_.get(); }
   /// The underlying observability store (null unless config().trace).
   obs::Recorder* recorder() { return tracer_ ? &tracer_->recorder() : nullptr; }
+  /// The armed fault plan (null on healthy runs).
+  sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
  private:
   ClusterConfig cfg_;
   sim::Engine eng_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;  // before fabric_: outlives users
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<nemesis::ShmNode>> shm_nodes_;   // per node (may be null)
   std::vector<std::unique_ptr<net::ProcRouter>> routers_;      // per node

@@ -59,7 +59,21 @@ Time Fabric::transmit(WirePacket pkt) {
   Nic& dst = nic(pkt.dst_node, pkt.rail);
   NMX_ASSERT_MSG(dst.rx != nullptr, "no rx handler at destination");
 
-  const Time occupancy = prof.occupancy(pkt.bytes);
+  Time occupancy = prof.occupancy(pkt.bytes);
+  bool on_dead_rail = false;
+  if (fault_plan_ != nullptr) {
+    // Silent degradation: the wire moves bytes at beta_factor x nominal, but
+    // the profile (and thus every sampling probe) still claims full speed.
+    const double f = fault_plan_->beta_factor(pkt.rail, eng_.now());
+    if (f < 1.0) {
+      occupancy = prof.per_message + static_cast<double>(pkt.bytes) / (prof.bandwidth * f);
+    }
+    // A dead rail admits nothing new; cores are notified synchronously at the
+    // death event, so reaching here means the submission's software pre-cost
+    // straddled the death instant. That packet was already committed to the
+    // NIC — treat it as in-flight (it drains), and count it.
+    on_dead_rail = fault_plan_->rail_dead(pkt.rail);
+  }
   // Egress: the packet queues behind earlier sends from this node.
   const Channel::Grant out = src.egress.reserve(eng_.now(), occupancy);
   // Ingress: the receiving NIC is pipelined with the wire, but serializes
@@ -73,6 +87,7 @@ Time Fabric::transmit(WirePacket pkt) {
     const std::string rail_label = "rail=" + std::to_string(pkt.rail);
     rec->metrics().counter("net.rail.tx_packets", rail_label).add(1);
     rec->metrics().counter("net.rail.tx_bytes", rail_label).add(pkt.bytes);
+    if (on_dead_rail) rec->metrics().counter("net.fault.tx_on_dead_rail", rail_label).add(1);
   }
   eng_.schedule(delivery, [&dst, p = std::move(pkt)]() mutable { dst.rx(std::move(p)); });
   return out.end;

@@ -11,6 +11,7 @@
 
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace nmx::net {
 
@@ -92,6 +93,17 @@ class Fabric {
 
   std::size_t packets_sent() const { return packets_sent_; }
 
+  /// Attach a fault plan (not owned; null = healthy fabric). Degraded rails
+  /// transmit at beta_factor x bandwidth — *silently*: the uncontended_*
+  /// probes keep answering with the healthy profile, so samplers only learn
+  /// of the degradation through prediction error. Dead rails still deliver
+  /// packets already granted admission (fail-stop at admission is the
+  /// senders' job, via FaultPlan::on_rail_down); a transmit that races the
+  /// death inside its software pre-cost window counts as in-flight and is
+  /// delivered, surfacing as net.fault.tx_on_dead_rail.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+  sim::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   struct Nic {
     Channel egress;
@@ -104,6 +116,7 @@ class Fabric {
   Topology topo_;
   std::vector<Nic> nics_;  // node-major [node * num_rails + rail]
   std::size_t packets_sent_ = 0;
+  sim::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace nmx::net

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <set>
 #include <string>
 #include <utility>
+
+#include "sim/fault.hpp"
 
 namespace nmx::nmad {
 
@@ -46,6 +49,13 @@ Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int m
     return l;
   });
   router.register_proc(my_proc_, [this](net::WirePacket&& pkt) { rx_wire(std::move(pkt)); });
+  if (cfg_.fault_plan != nullptr) {
+    // Rail death is reported synchronously by the local NIC at the death
+    // instant (the listener fires for every core; cores not driving the rail
+    // ignore it). Restart wipes this process's rendezvous landing progress.
+    cfg_.fault_plan->on_rail_down([this](int fr) { handle_rail_down(fr, /*from_wire=*/false); });
+    cfg_.fault_plan->on_restart(my_proc_, [this] { on_restart(); });
+  }
 }
 
 Request* Core::new_request(Request r) {
@@ -120,6 +130,13 @@ Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* u
     e.kind = Entry::Kind::Rts;
     e.rdv_id = id;
     e.rdv_total = len;
+    req->rts_seq = seq;
+    // CTS-timeout recovery: if the grant has not arrived by then, retransmit
+    // the RTS (same seq / rdv id). Off by default — healthy runs schedule
+    // nothing extra; chaos configurations opt in.
+    if (cfg_.rdv_retry_timeout > 0) {
+      req->retry_timer = eng_.schedule_in(cfg_.rdv_retry_timeout, [this, req] { rts_retry(req); });
+    }
     if (rec != nullptr) {
       req->rdv_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadRdv, len, dst);
       rec->instant(eng_.now(), my_proc_, obs::Cat::RdvRts, len, dst);
@@ -173,6 +190,12 @@ Request* Core::irecv(int src, Tag tag, void* buf, std::size_t len, void* user_ct
 
 void Core::release(Request* r) {
   NMX_ASSERT_MSG(r->completed, "requests cannot be cancelled, only completed ones released");
+  // A completed rendezvous cancelled its retry timer when the CTS landed;
+  // cancel defensively anyway so a released request can never be called back.
+  if (r->retry_timer != 0) {
+    eng_.cancel(r->retry_timer);
+    r->retry_timer = 0;
+  }
   live_.erase(r->self);
 }
 
@@ -259,7 +282,7 @@ void Core::try_flush() {
   pending_flush_ = false;
   for (std::size_t r = 0; r < drivers_.size(); ++r) {
     Driver& d = drivers_[r];
-    while (!d.busy) {
+    while (!d.busy && !d.dead) {
       auto wm = strategy_->next(static_cast<int>(r), my_proc_);
       if (!wm) break;
       submit(static_cast<int>(r), std::move(*wm));
@@ -284,7 +307,10 @@ void Core::submit(int local_rail, WireMsg wm) {
 
   std::vector<Note> notes;
   for (const Entry& e : wm.entries) {
-    if (e.sreq != nullptr) notes.push_back(Note{e.sreq, e.kind, e.bytes.size()});
+    if (e.sreq != nullptr) {
+      notes.push_back(Note{e.sreq, e.kind, e.bytes.size(), e.epoch});
+      ++e.sreq->inflight_notes;
+    }
   }
 
   const int dst = wm.dst_proc;
@@ -314,7 +340,19 @@ void Core::submit(int local_rail, WireMsg wm) {
     pkt.rail = drivers_[static_cast<std::size_t>(local_rail)].fabric_rail;
     pkt.bytes = bytes;
     pkt.payload = std::move(wm);
+    const Time queued_from = std::max(eng_.now(), fabric_.egress_busy_until(my_node_, pkt.rail));
     const Time egress = fabric_.transmit(std::move(pkt));
+    // Measured NIC occupancy (egress grant minus queueing) fed back into the
+    // bandwidth model: silent rail degradation surfaces as a lower implied
+    // beta, and the sampling layer re-learns it from this prediction error
+    // instead of letting the stale probe poison every future split.
+    if (cfg_.beta_relearn && sampling_.observe_egress(local_rail, bytes, egress - queued_from)) {
+      if (obs::Recorder* rec = eng_.recorder()) {
+        rec->metrics()
+            .counter("nmad.sched.beta_relearned", "rail=" + std::to_string(local_rail))
+            .add(1);
+      }
+    }
     eng_.schedule(egress, [this, local_rail, notes = std::move(notes)]() mutable {
       on_egress(local_rail, std::move(notes));
     });
@@ -338,12 +376,23 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
     d.tx_span = 0;
   }
   for (const Note& n : notes) {
+    NMX_ASSERT(n.sreq->inflight_notes > 0);
+    --n.sreq->inflight_notes;
     if (n.kind == Entry::Kind::Eager) {
       complete(*n.sreq);
     } else if (n.kind == Entry::Kind::RdvChunk) {
-      NMX_ASSERT(n.sreq->bytes_outstanding >= n.bytes);
-      n.sreq->bytes_outstanding -= n.bytes;
-      if (n.sreq->bytes_outstanding == 0) {
+      if (n.epoch == n.sreq->epoch) {
+        NMX_ASSERT(n.sreq->bytes_outstanding >= n.bytes);
+        n.sreq->bytes_outstanding -= n.bytes;
+      } else if (obs::Recorder* rec2 = eng_.recorder()) {
+        // Chunk of a superseded grant epoch drained after a receiver restart:
+        // the replay re-sends these bytes, so they must not count here.
+        rec2->metrics().counter("nmad.rdv.stale_tx_notes").add(1);
+      }
+      // Completion needs *both*: every byte of the current epoch drained and
+      // no note still in flight — a pending stale-epoch note would otherwise
+      // fire after the request was released.
+      if (n.sreq->bytes_outstanding == 0 && n.sreq->inflight_notes == 0) {
         // Every planned chunk must be gone from the strategy before the
         // rendezvous is retired — anything still queued here would leak into
         // the per-rail backlog accounting forever. Drain defensively and
@@ -365,6 +414,45 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
 
 void Core::notify_async() {
   if (async_notifier_) async_notifier_();
+}
+
+void Core::rts_retry(Request* req) {
+  req->retry_timer = 0;
+  if (req->cts_seen || req->completed) return;  // grant arrived; timer raced it
+  obs::Recorder* rec = eng_.recorder();
+  if (req->rts_retries >= static_cast<std::uint32_t>(cfg_.rdv_retry_limit)) {
+    // Out of retries: stop retransmitting but keep waiting. A CTS is only
+    // ever sent once the receive is posted, so a slow consumer looks exactly
+    // like a lost handshake from here — giving up would turn every slow
+    // receiver into a hard failure. A genuinely lost handshake surfaces as a
+    // deadlock (and in tests, a timeout), not an infinite retry loop.
+    if (rec != nullptr) rec->metrics().counter("nmad.rdv.retry_exhausted").add(1);
+    return;
+  }
+  ++req->rts_retries;
+  if (rec != nullptr) {
+    rec->metrics().counter("nmad.rdv.retries").add(1);
+    rec->instant(eng_.now(), my_proc_, obs::Cat::RdvRts, req->len, req->peer);
+  }
+  // Retransmit under the *original* matching slot and rendezvous id: the
+  // receiver either never saw the RTS (slots in normally) or recognises the
+  // duplicate and re-grants (handle_dup_rts).
+  Entry e;
+  e.kind = Entry::Kind::Rts;
+  e.dst_proc = req->peer;
+  e.tag = req->tag;
+  e.seq = req->rts_seq;
+  e.rdv_id = req->rdv_id;
+  e.rdv_total = req->len;
+  e.retry = req->rts_retries;
+  e.span = req->span;
+  enqueue(std::move(e));
+  // Exponential backoff so a receiver that is slow rather than faulted is
+  // probed at timeout, 2x, 4x, ... instead of being flooded.
+  const Time backoff = cfg_.rdv_retry_timeout *
+                       static_cast<double>(1ull << std::min<std::uint32_t>(req->rts_retries, 20));
+  req->retry_timer = eng_.schedule_in(backoff, [this, req] { rts_retry(req); });
+  kick();
 }
 
 // --------------------------------------------------------------------------
@@ -400,18 +488,58 @@ void Core::handle_wire(int fabric_rail, WireMsg m) {
   }
   const int src = m.src_proc;
   for (Entry& e : m.entries) {
-    switch (e.kind) {
-      case Entry::Kind::Eager:
-      case Entry::Kind::Rts:
-        ingest_ordered(src, std::move(e), fabric_rail);
-        break;
-      case Entry::Kind::Cts:
-        handle_cts(src, e);
-        break;
-      case Entry::Kind::RdvChunk:
-        handle_rdv_data(src, fabric_rail, e);
-        break;
+    // Fault-injection point: one roll per delivered *control* entry. Data
+    // entries (Eager, RdvChunk) are never faulted — this protocol has no
+    // payload ack/retransmit layer, so dropping them is unrecoverable by
+    // design; the recoverable fault surface is the rendezvous control plane.
+    if (cfg_.fault_plan != nullptr &&
+        (e.kind == Entry::Kind::Rts || e.kind == Entry::Kind::Cts)) {
+      const sim::FaultPlan::EntryDecision dec =
+          cfg_.fault_plan->entry_action(static_cast<int>(e.kind), src, my_proc_, eng_.now());
+      obs::Recorder* rec = eng_.recorder();
+      const std::string kind_label = std::string("kind=") + Entry::kind_name(e.kind);
+      if (dec.action == sim::EntryAction::Drop) {
+        if (rec != nullptr) rec->metrics().counter("nmad.fault.dropped", kind_label).add(1);
+        continue;
+      }
+      if (dec.action == sim::EntryAction::Duplicate) {
+        if (rec != nullptr) rec->metrics().counter("nmad.fault.duplicated", kind_label).add(1);
+        Entry twin = e;
+        dispatch_entry(src, fabric_rail, std::move(twin));
+        // fall through: the original lands right behind its twin
+      } else if (dec.action == sim::EntryAction::Delay) {
+        if (rec != nullptr) rec->metrics().counter("nmad.fault.delayed", kind_label).add(1);
+        eng_.schedule_in(dec.delay, [this, src, fabric_rail, de = std::move(e)]() mutable {
+          dispatch_entry(src, fabric_rail, std::move(de));
+        });
+        continue;
+      }
     }
+    dispatch_entry(src, fabric_rail, std::move(e));
+  }
+}
+
+void Core::dispatch_entry(int src, int fabric_rail, Entry e) {
+  switch (e.kind) {
+    case Entry::Kind::Eager:
+    case Entry::Kind::Rts:
+      ingest_ordered(src, std::move(e), fabric_rail);
+      break;
+    case Entry::Kind::Cts:
+      handle_cts(src, e);
+      break;
+    case Entry::Kind::RdvChunk:
+      handle_rdv_data(src, fabric_rail, e);
+      break;
+    case Entry::Kind::RailDown:
+      if (obs::Recorder* rec = eng_.recorder()) {
+        rec->metrics().counter("nmad.fault.raildown_rx").add(1);
+      }
+      // Redundant in the simulator (every core sees the death synchronously
+      // through the FaultPlan listener) but kept honest: this is the only
+      // signal a real remote peer would have. Idempotent on arrival.
+      handle_rail_down(e.down_rail, /*from_wire=*/true);
+      break;
   }
 }
 
@@ -419,8 +547,17 @@ void Core::ingest_ordered(int src, Entry e, int fabric_rail) {
   GateState& g = gate(src);
   std::uint32_t& expected = g.recv_seq[e.tag];
   if (e.seq != expected) {
+    if (e.seq < expected) {
+      // This matching slot was already consumed: a wire duplicate or a
+      // sender retransmission. Eager entries are never faulted, so only an
+      // Rts can get here — and it must never re-enter the matching stream
+      // (that would double-deliver). Re-grant or drop instead.
+      if (e.kind == Entry::Kind::Rts) handle_dup_rts(src, e);
+      return;
+    }
     // Arrived ahead of an in-flight predecessor (possible across rails);
-    // stash until its turn to preserve MPI matching order.
+    // stash until its turn to preserve MPI matching order. A duplicate of an
+    // already-stashed seq is discarded by the emplace.
     const Tag tag = e.tag;
     const std::uint32_t seq = e.seq;
     g.out_of_order.emplace(std::make_pair(tag, seq), PendingIngest{std::move(e), src, fabric_rail});
@@ -508,6 +645,25 @@ void Core::handle_rts(int src, Entry& e) {
   if (on_unexpected_) on_unexpected_(ProbeInfo{src, e.tag, e.rdv_total});
 }
 
+void Core::handle_dup_rts(int src, Entry& e) {
+  obs::Recorder* rec = eng_.recorder();
+  if (rec != nullptr) rec->metrics().counter("nmad.rdv.dup_rts").add(1);
+  // A plain wire duplicate (retry == 0): the original was processed normally,
+  // its CTS is queued or in flight. Nothing to do.
+  if (e.retry == 0) return;
+  // A sender retransmission: our grant was lost (or is still in flight). If
+  // the rendezvous is still pending here, re-issue the CTS under the current
+  // epoch — if the original grant survives after all, the sender recognises
+  // the duplicate and ignores one of them. If it is not pending, either the
+  // receive was never posted (the original RTS still sits in the unexpected
+  // queue; the grant goes out when the recv posts) or the transfer already
+  // finished (the retransmission crossed our grant + the data). Drop it.
+  auto it = rdv_in_.find({src, e.rdv_id});
+  if (it == rdv_in_.end()) return;
+  if (rec != nullptr) rec->metrics().counter("nmad.rdv.regrants").add(1);
+  send_cts(src, e.rdv_id, it->second.epoch, it->second.req->span);
+}
+
 std::vector<RailAd> Core::sample_rail_ads(int granting_src, std::uint64_t granting_rdv) const {
   const Time now = eng_.now();
   std::vector<RailAd> ads(drivers_.size());
@@ -559,35 +715,48 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
   // Grant: register the receive buffer (on-the-fly, uncached) and send CTS.
   Time reg = 0;
   if (any_rail_needs_registration()) reg = calib::ib_reg_cost(total);
-  auto send_cts = [this, src, rdv_id, span = req->span] {
-    if (obs::Recorder* rec = eng_.recorder()) {
-      rec->instant(eng_.now(), my_proc_, obs::Cat::RdvCts, 0, src);
-    }
-    Entry cts;
-    cts.kind = Entry::Kind::Cts;
-    cts.dst_proc = src;
-    cts.rdv_id = rdv_id;
-    cts.span = span;
-    // Receiver-directed flow control: advertise this end's per-rail ingress
-    // occupancy and granted backlog so the sender's cost model sees both
-    // ends of each rail. Sampled at grant time — by the time the CTS lands
-    // the deltas have decayed, which the sender accounts for by anchoring
-    // them at its own "now".
-    if (cfg_.advertise_rdv_load) cts.rail_ads = sample_rail_ads(src, rdv_id);
-    enqueue(std::move(cts));
-    kick();
-  };
+  auto grant = [this, src, rdv_id, span = req->span] { send_cts(src, rdv_id, 0, span); };
   if (reg > 0) {
-    eng_.schedule_in(reg, send_cts);
+    eng_.schedule_in(reg, grant);
   } else {
-    send_cts();
+    grant();
   }
+}
+
+void Core::send_cts(int dst, std::uint64_t rdv_id, std::uint32_t epoch, std::uint64_t span) {
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->instant(eng_.now(), my_proc_, obs::Cat::RdvCts, 0, dst);
+  }
+  Entry cts;
+  cts.kind = Entry::Kind::Cts;
+  cts.dst_proc = dst;
+  cts.rdv_id = rdv_id;
+  cts.epoch = epoch;
+  cts.span = span;
+  // Receiver-directed flow control: advertise this end's per-rail ingress
+  // occupancy and granted backlog so the sender's cost model sees both
+  // ends of each rail. Sampled at grant time — by the time the CTS lands
+  // the deltas have decayed, which the sender accounts for by anchoring
+  // them at its own "now".
+  if (cfg_.advertise_rdv_load) cts.rail_ads = sample_rail_ads(dst, rdv_id);
+  enqueue(std::move(cts));
+  kick();
 }
 
 void Core::handle_cts(int src, Entry& cts) {
   const std::uint64_t rdv_id = cts.rdv_id;
   auto it = rdv_out_.find(rdv_id);
-  NMX_ASSERT_MSG(it != rdv_out_.end(), "CTS for unknown rendezvous");
+  if (it == rdv_out_.end()) {
+    // An id below the allocation watermark names a rendezvous that existed
+    // and was retired — a late grant (wire duplicate, or a restart re-grant
+    // that crossed the final data chunks). Ignore it. An id we never issued
+    // is a protocol bug, faults or not.
+    NMX_ASSERT_MSG(rdv_id < next_rdv_, "CTS for unknown rendezvous");
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.rdv.orphan_cts").add(1);
+    }
+    return;
+  }
   Request* req = it->second;
   // The grant must come from the process the RTS was addressed to: rdv_ids
   // are sender-scoped, so a CTS echoing our id from anyone else is a
@@ -596,10 +765,37 @@ void Core::handle_cts(int src, Entry& cts) {
   NMX_ASSERT_MSG(src == req->peer,
                  "cross-wired CTS: grant from proc " + std::to_string(src) +
                      " for a rendezvous addressed to proc " + std::to_string(req->peer));
-  NMX_ASSERT_MSG(!req->cts_seen,
-                 "duplicate CTS for rendezvous " + std::to_string(rdv_id) +
-                     " (payload would be queued twice)");
+
+  if (req->cts_seen) {
+    if (cts.epoch <= req->epoch) {
+      // Same-epoch duplicate (wire fault, or a re-grant answering an RTS
+      // retransmission that crossed the original grant): the data phase is
+      // already running — queueing the payload twice would break the
+      // exactly-once guarantee. Drop it.
+      if (obs::Recorder* rec = eng_.recorder()) {
+        rec->metrics().counter("nmad.rdv.dup_cts").add(1);
+      }
+      return;
+    }
+    // Newer epoch: the receiver restarted and lost its landing progress.
+    // Drop every chunk still queued under the stale grant and replay the
+    // data phase from byte 0; chunks already on a NIC drain and are
+    // discarded at both ends via the epoch stamp.
+    const std::size_t drained = strategy_->cancel_rdv(req->peer, rdv_id);
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.rdv.restart_replays").add(1);
+      rec->metrics().counter("nmad.sched.cancel_drained_bytes").add(drained);
+    }
+    req->epoch = cts.epoch;
+    start_rdv_data(req, cts);
+    return;
+  }
   req->cts_seen = true;
+  req->epoch = cts.epoch;
+  if (req->retry_timer != 0) {
+    eng_.cancel(req->retry_timer);
+    req->retry_timer = 0;
+  }
 
   // The CTS closes the sender-side handshake span begun at the RTS post.
   if (obs::Recorder* rec = eng_.recorder()) {
@@ -624,6 +820,10 @@ void Core::handle_cts(int src, Entry& cts) {
     }
   }
 
+  start_rdv_data(req, cts);
+}
+
+void Core::start_rdv_data(Request* req, Entry& cts) {
   req->bytes_outstanding = req->len;
 
   // Cost-model strategies carve the payload into chunks themselves, re-solving
@@ -634,9 +834,10 @@ void Core::handle_cts(int src, Entry& cts) {
     Entry e;
     e.kind = Entry::Kind::RdvChunk;
     e.dst_proc = req->peer;
-    e.rdv_id = rdv_id;
+    e.rdv_id = req->rdv_id;
     e.offset = 0;
     e.rail = -1;  // unplanned
+    e.epoch = req->epoch;
     e.bytes.assign(req->sbuf, req->sbuf + req->len);
     e.sreq = req;
     e.span = req->span;
@@ -654,9 +855,10 @@ void Core::handle_cts(int src, Entry& cts) {
     Entry e;
     e.kind = Entry::Kind::RdvChunk;
     e.dst_proc = req->peer;
-    e.rdv_id = rdv_id;
+    e.rdv_id = req->rdv_id;
     e.offset = offset;
     e.rail = static_cast<int>(r);
+    e.epoch = req->epoch;
     e.bytes.assign(req->sbuf + offset, req->sbuf + offset + shares[r]);
     e.sreq = req;
     e.span = req->span;
@@ -669,7 +871,17 @@ void Core::handle_cts(int src, Entry& cts) {
 
 void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
   auto it = rdv_in_.find({src, e.rdv_id});
-  NMX_ASSERT_MSG(it != rdv_in_.end(), "rendezvous data without matching grant");
+  if (it == rdv_in_.end() || e.epoch != it->second.epoch) {
+    // A chunk answering a superseded grant (we restarted and re-granted
+    // under a newer epoch), or one that landed after the replayed transfer
+    // already finished. Only reachable under fault injection — on a healthy
+    // run this is a protocol bug and stays a hard failure.
+    NMX_ASSERT_MSG(cfg_.fault_plan != nullptr, "rendezvous data without matching grant");
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.rdv.stale_chunks").add(1);
+    }
+    return;
+  }
   Request* req = it->second.req;
   // Feed the per-peer arrival mix that attributes granted-but-unlanded bytes
   // to rails in future CTS load advertisements.
@@ -700,6 +912,90 @@ void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
     rdv_in_.erase(it);
     complete(*req);
   }
+}
+
+void Core::handle_rail_down(int fabric_rail, bool from_wire) {
+  const int lr = local_rail_of(fabric_rail);
+  if (lr < 0) return;  // this core does not drive the dead rail
+  Driver& d = drivers_[static_cast<std::size_t>(lr)];
+  if (d.dead) return;  // idempotent: local NIC report, then peer notifications
+  d.dead = true;
+  obs::Recorder* rec = eng_.recorder();
+  if (rec != nullptr) {
+    rec->metrics().counter("nmad.fault.rail_down", "rail=" + std::to_string(lr)).add(1);
+  }
+
+  // Displace everything queued on the dead rail and re-route it onto the
+  // survivors: small entries re-enter the strategy unassigned (pick_rail now
+  // excludes the dead rail), pre-planned rendezvous chunks are re-split
+  // across the live rails.
+  std::vector<Entry> displaced = strategy_->on_rail_down(lr);
+  std::size_t rerouted_bytes = 0;
+  for (Entry& e : displaced) {
+    rerouted_bytes += e.wire_bytes();
+    if (e.kind == Entry::Kind::RdvChunk) {
+      const std::vector<std::size_t> shares = strategy_->plan_rdv(e.bytes.size());
+      std::size_t off = 0;
+      for (std::size_t r = 0; r < shares.size(); ++r) {
+        if (shares[r] == 0) continue;
+        Entry part;
+        part.kind = Entry::Kind::RdvChunk;
+        part.dst_proc = e.dst_proc;
+        part.rdv_id = e.rdv_id;
+        part.offset = e.offset + off;
+        part.rail = static_cast<int>(r);
+        part.epoch = e.epoch;
+        part.sreq = e.sreq;
+        part.span = e.span;
+        part.bytes.assign(e.bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                          e.bytes.begin() + static_cast<std::ptrdiff_t>(off + shares[r]));
+        off += shares[r];
+        enqueue(std::move(part));
+      }
+      NMX_ASSERT(off == e.bytes.size());
+    } else {
+      enqueue(std::move(e));
+    }
+  }
+  if (rec != nullptr && !displaced.empty()) {
+    rec->metrics().counter("nmad.fault.rerouted_entries").add(displaced.size());
+    rec->metrics().counter("nmad.fault.rerouted_bytes").add(rerouted_bytes);
+  }
+
+  // Notify the senders of our pending inbound rendezvous — they may have
+  // chunks planned toward this rail. Redundant in the simulator (every core
+  // observes the death synchronously through the FaultPlan) but kept honest:
+  // the wire notification is the only signal a real remote peer would get.
+  if (!from_wire) {
+    std::set<int> peers;  // ordered: deterministic notification order
+    for (const auto& [key, rin] : rdv_in_) peers.insert(key.first);
+    for (int p : peers) {
+      Entry e;
+      e.kind = Entry::Kind::RailDown;
+      e.dst_proc = p;
+      e.down_rail = fabric_rail;
+      enqueue(std::move(e));
+    }
+  }
+  kick();
+}
+
+void Core::on_restart() {
+  // Crash/restart of this process's receive side: all landing progress for
+  // pending inbound rendezvous is lost. Bump each grant's epoch — in-flight
+  // chunks of the old grant are discarded on arrival — reset the byte
+  // bookkeeping to "nothing landed", and re-grant so the sender replays.
+  obs::Recorder* rec = eng_.recorder();
+  if (rec != nullptr) rec->metrics().counter("nmad.fault.restarts").add(1);
+  for (auto& [key, rin] : rdv_in_) {
+    ++rin.epoch;
+    rin.req->bytes_outstanding = rin.req->received;  // the full total again
+    if (rec != nullptr) rec->metrics().counter("nmad.rdv.restart_grants").add(1);
+    send_cts(key.first, key.second, rin.epoch, rin.req->span);
+  }
+  // The observed per-peer arrival mix is landing-progress state too.
+  for (auto& [peer, g] : gates_) g.rdv_rx_by_rail.clear();
+  kick();
 }
 
 void Core::complete(Request& r) {

@@ -147,11 +147,15 @@ class Core {
 
   struct RdvIn {
     Request* req = nullptr;
+    /// Grant epoch: bumped on receiver restart so chunks answering a stale
+    /// grant are recognised and dropped instead of double-landed.
+    std::uint32_t epoch = 0;
   };
 
   struct Driver {
     int fabric_rail = 0;
     bool busy = false;
+    bool dead = false;          ///< fail-stop: never submit here again
     std::uint64_t tx_span = 0;  ///< open NicTx span (one per rail: busy-gated)
     Time tx_begin = 0;          ///< submission time of the in-flight packet
     Time tx_pred = 0;           ///< cost-model predicted egress completion
@@ -161,6 +165,9 @@ class Core {
     Request* sreq;
     Entry::Kind kind;
     std::size_t bytes;  ///< payload bytes (rendezvous byte accounting)
+    /// Grant epoch the chunk was sent under; a note from a superseded epoch
+    /// must not decrement the (replayed) outstanding-byte count.
+    std::uint32_t epoch;
   };
 
   Request* new_request(Request r);
@@ -177,14 +184,34 @@ class Core {
   void rx_wire(net::WirePacket&& pkt);
   void drain_rx();
   void handle_wire(int fabric_rail, WireMsg m);
+  /// Deliver one wire entry to its protocol handler (post fault filtering).
+  void dispatch_entry(int src, int fabric_rail, Entry e);
   void ingest_ordered(int src, Entry e, int fabric_rail);
   void ingest(int src, Entry& e, int fabric_rail);
   void deliver_eager(int src, Entry& e, int fabric_rail);
   void handle_rts(int src, Entry& e);
+  /// An Rts whose matching slot was already consumed (wire duplicate or
+  /// sender retransmission): re-grant when our CTS was the casualty.
+  void handle_dup_rts(int src, Entry& e);
   void handle_cts(int src, Entry& cts);
+  /// (Re)start the rendezvous data phase after a grant: reset the
+  /// outstanding-byte count and enqueue the payload under req->epoch.
+  void start_rdv_data(Request* req, Entry& cts);
   void handle_rdv_data(int src, int fabric_rail, Entry& e);
   void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total,
                       std::uint64_t sender_span = 0);
+  /// Build and enqueue one CTS grant (initial grant, re-grant on duplicate
+  /// RTS, restart re-grant).
+  void send_cts(int dst, std::uint64_t rdv_id, std::uint32_t epoch, std::uint64_t span);
+  /// CTS-timeout handler: retransmit the RTS with exponential backoff.
+  void rts_retry(Request* req);
+  /// Fail-stop rail death: mark the driver, displace + re-route queued
+  /// entries, notify rendezvous peers. `from_wire` marks a peer notification
+  /// (no re-notify; the local-NIC report path sends them).
+  void handle_rail_down(int fabric_rail, bool from_wire);
+  /// Fault-plan restart listener: wipe rendezvous landing progress and
+  /// re-grant every pending inbound rendezvous under a bumped epoch.
+  void on_restart();
   void complete(Request& r);
   void notify_async();
   bool any_rail_needs_registration() const;

@@ -1,6 +1,7 @@
 #include "nmad/sampling.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/assert.hpp"
@@ -10,6 +11,14 @@ namespace nmx::nmad {
 namespace {
 constexpr std::size_t kProbeSmall = 4096;
 constexpr std::size_t kProbeLarge = 4 * 1024 * 1024;
+/// Transfers below this carry too much fixed-cost noise to re-fit beta from.
+constexpr std::size_t kRelearnMinBytes = 128 * 1024;
+/// Relative drift of the observed-bandwidth EWMA from the fitted beta that
+/// triggers adoption. Below it, the fitted (probe-time) value stands.
+constexpr double kRelearnAdopt = 0.08;
+/// Ready time modelling a dead rail in split_live: far beyond any plausible
+/// completion, so the equal-finish solver always prunes it.
+constexpr Time kDeadRailReady = 1e30;
 }  // namespace
 
 Sampling::Sampling(const net::Fabric& fabric, const std::vector<int>& rails) {
@@ -163,6 +172,45 @@ std::vector<std::size_t> Sampling::split_even(std::size_t len) const {
   std::vector<std::size_t> shares(rails_.size(), len / rails_.size());
   shares[0] += len % rails_.size();
   return shares;
+}
+
+int Sampling::fastest_live(const std::vector<bool>& live) const {
+  NMX_ASSERT(live.size() == rails_.size());
+  int best = -1;
+  for (std::size_t i = 0; i < rails_.size(); ++i) {
+    if (!live[i]) continue;
+    if (best < 0 || rails_[i].alpha < rails_[static_cast<std::size_t>(best)].alpha) {
+      best = static_cast<int>(i);
+    }
+  }
+  NMX_ASSERT_MSG(best >= 0, "no live rail left");
+  return best;
+}
+
+std::vector<std::size_t> Sampling::split_live(std::size_t len, std::size_t min_chunk,
+                                              const std::vector<bool>& live) const {
+  NMX_ASSERT(live.size() == rails_.size());
+  std::vector<Time> ready(rails_.size(), 0.0);
+  for (std::size_t i = 0; i < rails_.size(); ++i) {
+    if (!live[i]) ready[i] = kDeadRailReady;
+  }
+  return solve_split(len, min_chunk, ready, fastest_live(live));
+}
+
+bool Sampling::observe_egress(int r, std::size_t bytes, Time occupancy) {
+  if (bytes < kRelearnMinBytes) return false;
+  RailPerf& p = rails_.at(static_cast<std::size_t>(r));
+  const Time xfer = occupancy - p.alpha_tx;
+  if (xfer <= 0) return false;
+  const double observed = static_cast<double>(bytes) / xfer;
+  if (beta_hat_.empty()) beta_hat_.assign(rails_.size(), -1.0);
+  double& hat = beta_hat_[static_cast<std::size_t>(r)];
+  hat = hat < 0 ? observed : 0.5 * hat + 0.5 * observed;
+  if (p.beta > 0 && std::abs(hat - p.beta) / p.beta > kRelearnAdopt) {
+    p.beta = hat;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace nmx::nmad

@@ -94,12 +94,31 @@ class Sampling {
   /// is compared against in bench/abl_splitratio.
   std::vector<std::size_t> split_even(std::size_t len) const;
 
+  /// split() restricted to the rails flagged live. Dead rails are modelled
+  /// as infinitely backlogged, so the equal-finish solver prunes them and
+  /// the unsplittable-payload path picks the fastest *live* rail.
+  std::vector<std::size_t> split_live(std::size_t len, std::size_t min_chunk,
+                                      const std::vector<bool>& live) const;
+
+  /// Lowest-latency rail among those flagged live (fastest() when all are).
+  int fastest_live(const std::vector<bool>& live) const;
+
+  /// Feed one measured egress occupancy (how long the NIC held the buffer
+  /// for `bytes` wire bytes) back into the model. Large transfers re-fit
+  /// beta via an EWMA of the implied bandwidth; when the fit drifts past the
+  /// adoption threshold the rail's beta is replaced and true is returned.
+  /// On a healthy fabric the implied bandwidth equals the fitted beta
+  /// exactly (alpha_tx is exact), so this never perturbs an accurate model —
+  /// it only reacts to real drift, e.g. silent rail degradation.
+  bool observe_egress(int r, std::size_t bytes, Time occupancy);
+
  private:
   void find_fastest();
   std::vector<std::size_t> solve_split(std::size_t len, std::size_t min_chunk,
                                        const std::vector<Time>& ready, int small_rail) const;
   std::vector<RailPerf> rails_;
   int fastest_ = 0;
+  std::vector<double> beta_hat_;  ///< per-rail EWMA of observed bandwidth
 };
 
 }  // namespace nmx::nmad

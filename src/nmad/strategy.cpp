@@ -1,6 +1,7 @@
 #include "nmad/strategy.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -16,6 +17,7 @@ class QueuedStrategy : public Strategy {
   QueuedStrategy(const Sampling& sampling, StrategyOptions opts, bool aggregate)
       : sampling_(sampling),
         opts_(opts),
+        live_(sampling.num_rails(), true),
         aggregate_(aggregate),
         backlog_(sampling.num_rails(), 0) {}
 
@@ -28,6 +30,7 @@ class QueuedStrategy : public Strategy {
   }
 
   std::optional<WireMsg> next(int rail, int src_proc) override {
+    if (!rail_live(rail)) return std::nullopt;
     // Round-robin across destinations that have traffic on this rail.
     auto& cursor = rr_cursor_[rail];
     auto begin = queues_.lower_bound({rail, cursor});
@@ -104,13 +107,40 @@ class QueuedStrategy : public Strategy {
     return dropped;
   }
 
+  std::vector<Entry> on_rail_down(int rail) override {
+    NMX_ASSERT(rail >= 0 && static_cast<std::size_t>(rail) < live_.size());
+    live_[static_cast<std::size_t>(rail)] = false;
+    std::vector<Entry> displaced;
+    auto& backlog = backlog_[static_cast<std::size_t>(rail)];
+    auto it = queues_.lower_bound({rail, std::numeric_limits<int>::min()});
+    while (it != queues_.end() && it->first.first == rail) {
+      for (Entry& e : it->second) {
+        backlog -= std::min(backlog, e.wire_bytes());
+        --pending_;
+        displaced.push_back(std::move(e));
+      }
+      it = queues_.erase(it);
+    }
+    return displaced;
+  }
+
  protected:
   /// Rail a non-rendezvous entry is queued on. The paper's default: "choose
-  /// the fastest network for small messages" (§4.1.1).
-  virtual int pick_rail(const Entry& /*e*/) { return sampling_.fastest(); }
+  /// the fastest network for small messages" (§4.1.1) — restricted to live
+  /// rails once a rail has failed.
+  virtual int pick_rail(const Entry& /*e*/) { return sampling_.fastest_live(live_); }
+
+  bool rail_live(int rail) const {
+    return rail >= 0 && static_cast<std::size_t>(rail) < live_.size() &&
+           live_[static_cast<std::size_t>(rail)];
+  }
+  bool all_rails_live() const {
+    return std::all_of(live_.begin(), live_.end(), [](bool b) { return b; });
+  }
 
   const Sampling& sampling_;
   StrategyOptions opts_;
+  std::vector<bool> live_;  ///< per local rail, cleared by on_rail_down
 
  private:
   bool aggregate_;
@@ -126,7 +156,7 @@ class StratDefault final : public QueuedStrategy {
   StratDefault(const Sampling& s, StrategyOptions o) : QueuedStrategy(s, o, /*aggregate=*/false) {}
   std::vector<std::size_t> plan_rdv(std::size_t len) const override {
     std::vector<std::size_t> shares(sampling_.num_rails(), 0);
-    shares[static_cast<std::size_t>(sampling_.fastest())] = len;
+    shares[static_cast<std::size_t>(sampling_.fastest_live(live_))] = len;
     return shares;
   }
 };
@@ -136,7 +166,7 @@ class StratAggreg final : public QueuedStrategy {
   StratAggreg(const Sampling& s, StrategyOptions o) : QueuedStrategy(s, o, /*aggregate=*/true) {}
   std::vector<std::size_t> plan_rdv(std::size_t len) const override {
     std::vector<std::size_t> shares(sampling_.num_rails(), 0);
-    shares[static_cast<std::size_t>(sampling_.fastest())] = len;
+    shares[static_cast<std::size_t>(sampling_.fastest_live(live_))] = len;
     return shares;
   }
 };
@@ -146,6 +176,7 @@ class StratSplitBalance final : public QueuedStrategy {
   StratSplitBalance(const Sampling& s, StrategyOptions o)
       : QueuedStrategy(s, o, /*aggregate=*/true) {}
   std::vector<std::size_t> plan_rdv(std::size_t len) const override {
+    if (!all_rails_live()) return sampling_.split_live(len, opts_.min_split_chunk, live_);
     if (!opts_.adaptive_split) return sampling_.split_even(len);
     return sampling_.split(len, opts_.min_split_chunk);
   }
@@ -173,6 +204,7 @@ class StratCostModel final : public QueuedStrategy {
       job.base = e.offset;
       job.span = e.span;
       job.sreq = e.sreq;
+      job.epoch = e.epoch;
       job.bytes = std::move(e.bytes);
       // Receiver load advertised in the CTS grant: convert each rail's
       // (busy_delta, backlog) into an absolute "ingress free at" estimate.
@@ -200,6 +232,7 @@ class StratCostModel final : public QueuedStrategy {
   }
 
   std::optional<WireMsg> next(int rail, int src_proc) override {
+    if (!rail_live(rail)) return std::nullopt;
     // Latency-sensitive queued traffic first, then rendezvous bulk.
     if (auto wm = QueuedStrategy::next(rail, src_proc)) return wm;
     return next_rdv_chunk(rail, src_proc);
@@ -234,15 +267,17 @@ class StratCostModel final : public QueuedStrategy {
  protected:
   int pick_rail(const Entry& e) override {
     const std::vector<Time> ready = rail_ready().ready;
-    int best = 0;
-    Time best_t = sampling_.completion(0, e.wire_bytes(), ready[0]);
-    for (std::size_t r = 1; r < ready.size(); ++r) {
+    int best = -1;
+    Time best_t = 0;
+    for (std::size_t r = 0; r < ready.size(); ++r) {
+      if (!rail_live(static_cast<int>(r))) continue;
       const Time t = sampling_.completion(static_cast<int>(r), e.wire_bytes(), ready[r]);
-      if (t < best_t) {
+      if (best < 0 || t < best_t) {
         best_t = t;
         best = static_cast<int>(r);
       }
     }
+    NMX_ASSERT_MSG(best >= 0, "no live rail left");
     if (best != sampling_.fastest()) ++steals_[static_cast<std::size_t>(best)];
     return best;
   }
@@ -254,6 +289,7 @@ class StratCostModel final : public QueuedStrategy {
     std::size_t base = 0;      ///< offset of bytes[0] in the full message
     std::size_t consumed = 0;  ///< bytes already carved into chunks
     std::uint64_t span = 0;
+    std::uint32_t epoch = 0;   ///< grant epoch stamped on every carved chunk
     Request* sreq = nullptr;
     std::vector<std::byte> bytes;
     /// Per local rail: absolute time the *receiver's* ingress is estimated
@@ -274,6 +310,12 @@ class StratCostModel final : public QueuedStrategy {
     rs.now = l.now;
     rs.ready.assign(sampling_.num_rails(), 0.0);
     for (std::size_t r = 0; r < rs.ready.size(); ++r) {
+      if (!rail_live(static_cast<int>(r))) {
+        // Dead rail: infinitely backlogged, so every solve prunes it (same
+        // convention as Sampling::split_live).
+        rs.ready[r] = 1e30;
+        continue;
+      }
       rs.ready[r] = std::max(0.0, l.busy_until[r] - l.now) +
                     static_cast<double>(backlog_bytes(static_cast<int>(r))) /
                         sampling_.rails()[r].beta;
@@ -313,6 +355,7 @@ class StratCostModel final : public QueuedStrategy {
       e.offset = job.base + job.consumed;
       e.rail = rail;
       e.span = job.span;
+      e.epoch = job.epoch;
       e.sreq = job.sreq;
       // Two-ended arrival estimate for this chunk, checked by the receiver
       // against the actual landing time (nmad.sched.remote_pred_error_us).

@@ -83,6 +83,12 @@ class Strategy {
   /// phantom bytes inflating the cost model's view of a rail forever.
   virtual std::size_t cancel_rdv(int dst, std::uint64_t rdv_id) = 0;
 
+  /// Fail-stop notification: local rail `rail` is dead. The strategy marks
+  /// it (rail picks and rendezvous splits exclude it from now on) and
+  /// returns every entry it had queued on that rail, with backlog debited —
+  /// the core re-routes them onto surviving rails.
+  virtual std::vector<Entry> on_rail_down(int /*rail*/) { return {}; }
+
   // --- introspection (cost-model metrics read these; 0 when untracked) ----
 
   /// Wire bytes queued for local rail `r` (excludes unassigned rendezvous

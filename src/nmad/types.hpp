@@ -16,6 +16,10 @@
 #include "common/units.hpp"
 #include "net/calibration.hpp"
 
+namespace nmx::sim {
+class FaultPlan;
+}
+
 namespace nmx::nmad {
 
 /// Message tag. CH3 packs (context id, MPI tag) into this.
@@ -61,10 +65,22 @@ struct Request {
   /// strategies may carve the payload into any number of chunks.
   std::size_t bytes_outstanding = 0;
   std::uint64_t rdv_id = 0;  ///< nonzero while in rendezvous
-  /// Sender side: set when the CTS grant arrives. A second CTS for the same
-  /// rendezvous (duplicate or cross-wired) is a protocol violation — the data
-  /// phase must not be restarted.
+  /// Sender side: set when the first CTS grant arrives. Later CTSes for the
+  /// same rendezvous are duplicates (wire faults, receiver re-grants) unless
+  /// they carry a *newer* epoch — then the receiver restarted and the data
+  /// phase is replayed from scratch.
   bool cts_seen = false;
+
+  // control-plane recovery state (sender side unless noted)
+  std::uint32_t epoch = 0;        ///< current grant epoch (both sides)
+  std::uint32_t rts_seq = 0;      ///< matching seq of the original RTS
+  std::uint32_t rts_retries = 0;  ///< RTS retransmissions sent so far
+  std::uint64_t retry_timer = 0;  ///< pending CTS-timeout event (sim::EventId)
+  /// Egress notes not yet fired for this request. A rendezvous may only
+  /// complete when bytes_outstanding == 0 *and* no note is in flight —
+  /// otherwise a stale-epoch chunk still on a NIC would fire its note after
+  /// the request was released.
+  int inflight_notes = 0;
 
   // observability (obs/recorder.hpp): spans threaded through the stack
   std::uint64_t span = 0;      ///< upper-layer message-lifecycle span id
@@ -94,9 +110,31 @@ struct Config {
   /// Receiver-directed flow control: advertise this core's per-rail ingress
   /// load in every CTS grant (RailAd vector) so load-aware senders solve the
   /// rendezvous split for both ends of the transfer. Costs
-  /// RailAd::kWireSize bytes per rail on each CTS. Off = 16-byte legacy CTS,
+  /// RailAd::kWireSize bytes per rail on each CTS. Off = 20-byte legacy CTS,
   /// senders fall back to the one-ended (egress-only) cost model.
   bool advertise_rdv_load = true;
+
+  /// Control-plane recovery: when a rendezvous' CTS grant has not arrived
+  /// within this time, retransmit the RTS (same seq and rdv id, bumped retry
+  /// counter) with exponential backoff. 0 disables the timer — the default,
+  /// so healthy runs schedule nothing extra; chaos/faulted configurations
+  /// turn it on.
+  Time rdv_retry_timeout = 0;
+  /// Give up retransmitting (but keep waiting) after this many retries, so a
+  /// receiver that simply has not posted its receive yet is not hammered
+  /// forever. The request stays pending; a genuinely lost handshake then
+  /// surfaces as a deadlock/test timeout, not an infinite retry loop.
+  int rdv_retry_limit = 10;
+  /// Feed measured egress occupancy of large transfers back into the sampled
+  /// per-rail bandwidth (Sampling::observe_egress), so silent rail
+  /// degradation is re-learned from prediction error instead of poisoning
+  /// the split forever. Exact-model runs observe beta exactly, so this is a
+  /// no-op on a healthy fabric.
+  bool beta_relearn = true;
+  /// Deterministic fault injection (not owned; null = healthy run). The core
+  /// consults it per delivered wire entry and registers rail-down/restart
+  /// listeners on it.
+  sim::FaultPlan* fault_plan = nullptr;
 
   Time inject_overhead() const {
     return sw_send + (pioman_sync ? calib::kPiomanNetOverhead / 2 : 0.0);

@@ -32,18 +32,22 @@ struct RailAd {
 
 /// One protocol unit queued toward a destination.
 struct Entry {
-  enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk };
-  static constexpr int kNumKinds = 4;
+  enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk, RailDown };
+  static constexpr int kNumKinds = 5;
 
   /// Fixed header cost per kind, excluding variable-length payload fields.
-  /// Eager/RdvChunk: kind + dst + tag + seq/offset bookkeeping packed in 16.
-  /// Rts: adds rdv id + total size + matching info (32).
-  /// Cts: base grant (rdv id + ack) — the per-rail load vector is charged on
-  /// top via header_bytes(), see RailAd::kWireSize.
+  /// Eager/RdvChunk: kind + dst + tag + seq/offset bookkeeping packed in 16
+  /// (RdvChunk adds the 4-byte grant epoch it answers).
+  /// Rts: adds rdv id + total size + matching info (32) plus the 4-byte
+  /// retransmission counter.
+  /// Cts: base grant (rdv id + ack) + 4-byte grant epoch — the per-rail load
+  /// vector is charged on top via header_bytes(), see RailAd::kWireSize.
+  /// RailDown: kind + dst bookkeeping + the dead fabric rail (16).
   static constexpr std::size_t kEagerHeader = 16;
-  static constexpr std::size_t kRtsHeader = 32;
-  static constexpr std::size_t kCtsHeaderBase = 16;
-  static constexpr std::size_t kRdvChunkHeader = 16;
+  static constexpr std::size_t kRtsHeader = 36;
+  static constexpr std::size_t kCtsHeaderBase = 20;
+  static constexpr std::size_t kRdvChunkHeader = 20;
+  static constexpr std::size_t kRailDownHeader = 16;
 
   Kind kind = Kind::Eager;
   int dst_proc = -1;
@@ -54,6 +58,17 @@ struct Entry {
   std::uint64_t rdv_id = 0;     ///< Rts / Cts / RdvChunk
   std::size_t rdv_total = 0;    ///< Rts: full message size
   std::size_t offset = 0;       ///< RdvChunk: position in the message
+  /// Rts: retransmission attempt (0 = original). A retransmitted RTS reuses
+  /// the original seq/rdv_id so it either slots into the matching stream (the
+  /// original was lost) or is recognised as a duplicate (only the CTS was).
+  std::uint32_t retry = 0;
+  /// Cts / RdvChunk: the receiver's grant epoch. Bumped when the receiver
+  /// restarts and re-grants; chunks answering a stale epoch are dropped by
+  /// the receiver and not double-counted by the sender.
+  std::uint32_t epoch = 0;
+  /// RailDown: the fabric rail that died (receiver-to-sender notification so
+  /// the sender re-plans in-flight rendezvous onto surviving rails).
+  int down_rail = -1;
   std::vector<std::byte> bytes; ///< Eager payload or RdvChunk data
   /// Cts: the receiver's per-rail load advertisement (empty when the
   /// receiver does not advertise). Also rides the internal unplanned-RdvChunk
@@ -78,8 +93,20 @@ struct Entry {
       case Kind::Rts: return kRtsHeader;
       case Kind::Cts: return kCtsHeaderBase + rail_ads.size() * RailAd::kWireSize;
       case Kind::RdvChunk: return kRdvChunkHeader;
+      case Kind::RailDown: return kRailDownHeader;
     }
     return kEagerHeader;
+  }
+
+  static const char* kind_name(Kind k) {
+    switch (k) {
+      case Kind::Eager: return "Eager";
+      case Kind::Rts: return "Rts";
+      case Kind::Cts: return "Cts";
+      case Kind::RdvChunk: return "RdvChunk";
+      case Kind::RailDown: return "RailDown";
+    }
+    return "?";
   }
   std::size_t wire_bytes() const { return header_bytes() + bytes.size(); }
 };

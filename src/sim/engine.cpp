@@ -73,6 +73,14 @@ void Actor::request_stop() {
     cv_.notify_all();
   }
   thread_.join();
+  // The StopToken unwound the actor out of a possibly-pending block_until —
+  // the `timer_ = 0` line there never ran. Tombstone-cancel the orphaned
+  // timeout event so teardown mid-run (an exception escaping another actor,
+  // retry timers still pending) leaves no event referencing this actor.
+  if (timer_ != 0) {
+    engine_.cancel(timer_);
+    timer_ = 0;
+  }
 }
 
 void Actor::sleep_until(Time t) {

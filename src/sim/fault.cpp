@@ -1,0 +1,78 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace nmx::sim {
+
+FaultPlan::FaultPlan(FaultSpec spec) : spec_(std::move(spec)), rng_(spec_.seed) {
+  for (const auto& rd : spec_.rail_down) {
+    NMX_ASSERT_MSG(rd.rail >= 0 && rd.rail < 64, "rail index out of FaultPlan range");
+  }
+  for (const auto& d : spec_.degrade) {
+    NMX_ASSERT_MSG(d.beta_factor > 0 && d.beta_factor <= 1,
+                   "beta_factor must be in (0, 1] — rail death is RailDown, not factor 0");
+  }
+  for (const auto& ef : spec_.entry_faults) {
+    NMX_ASSERT_MSG(ef.drop_p >= 0 && ef.dup_p >= 0 && ef.delay_p >= 0 &&
+                       ef.drop_p + ef.dup_p + ef.delay_p <= 1.0,
+                   "entry-fault probabilities must be in [0, 1] and sum to <= 1");
+  }
+}
+
+void FaultPlan::arm(Engine& eng) {
+  NMX_ASSERT_MSG(!armed_, "FaultPlan armed twice");
+  armed_ = true;
+  for (const auto& rd : spec_.rail_down) {
+    eng.schedule(rd.at, [this, rail = rd.rail] {
+      if (rail_dead(rail)) return;  // double-listed rail: first event wins
+      dead_mask_ |= 1ull << rail;
+      for (const auto& fn : rail_down_fns_) fn(rail);
+    });
+  }
+  for (const auto& rs : spec_.restart) {
+    eng.schedule(rs.at, [this, proc = rs.proc] {
+      for (const auto& [p, fn] : restart_fns_) {
+        if (p == proc) fn();
+      }
+    });
+  }
+}
+
+double FaultPlan::beta_factor(int rail, Time now) const {
+  double factor = 1.0;
+  for (const auto& d : spec_.degrade) {
+    if (d.rail == rail && now >= d.from) factor = std::min(factor, d.beta_factor);
+  }
+  return factor;
+}
+
+FaultPlan::EntryDecision FaultPlan::entry_action(int kind, int src, int dst, Time now) {
+  for (const auto& ef : spec_.entry_faults) {
+    if (ef.kind >= 0 && ef.kind != kind) continue;
+    if (ef.src >= 0 && ef.src != src) continue;
+    if (ef.dst >= 0 && ef.dst != dst) continue;
+    if (now < ef.from || now >= ef.until) continue;
+    const double roll = rng_.uniform();
+    if (roll < ef.drop_p) {
+      ++drops_;
+      return {EntryAction::Drop, 0};
+    }
+    if (roll < ef.drop_p + ef.dup_p) {
+      ++duplicates_;
+      return {EntryAction::Duplicate, 0};
+    }
+    if (roll < ef.drop_p + ef.dup_p + ef.delay_p) {
+      ++delays_;
+      return {EntryAction::Delay, ef.delay};
+    }
+    // A row matched and rolled "deliver": later rows do not get a second
+    // shot, otherwise stacking rows would silently compound probabilities.
+    return {EntryAction::Deliver, 0};
+  }
+  return {EntryAction::Deliver, 0};
+}
+
+}  // namespace nmx::sim

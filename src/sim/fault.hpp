@@ -1,0 +1,154 @@
+// Deterministic fault injection for the simulated fabric and the protocol
+// layers above it.
+//
+// A FaultPlan is a *schedule*, not a dice roll at run time: timed faults
+// (rail death, silent bandwidth degradation, receiver restart) fire at fixed
+// virtual times via engine events, and probabilistic wire-entry faults
+// (drop / duplicate / delay of protocol entries) are rolled on a seeded
+// generator whose consumption order follows the engine's — itself fully
+// deterministic — event order. Two runs of the same plan therefore inject
+// the *same* faults at the *same* points and produce byte-identical
+// artifacts, which is what turns a chaos failure into a reproducible test
+// case instead of a flake (cf. Hunold & Carpen-Amarie on seeded,
+// replayable experiment schedules).
+//
+// The sim layer stays protocol-agnostic: wire-entry kinds are opaque ints
+// the protocol layer maps its own enum onto, and the fault model's semantics
+// (what a dead rail means for in-flight packets, what a restart wipes) are
+// decided by the consumers — see DESIGN.md "Fault model".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/rng.hpp"
+
+namespace nmx::sim {
+
+class Engine;
+
+/// Declarative fault schedule. Empty vectors = healthy run.
+struct FaultSpec {
+  /// Seed for the probabilistic wire-entry rolls. Timed faults do not
+  /// consume randomness.
+  std::uint64_t seed = 1;
+
+  /// Fail-stop rail death at a fixed virtual time: the rail stops admitting
+  /// new transmits; packets already on the NIC or the wire drain normally.
+  struct RailDown {
+    Time at = 0;
+    int rail = -1;  ///< fabric rail index
+  };
+  std::vector<RailDown> rail_down;
+
+  /// Silent bandwidth degradation: from `from` on, the rail's effective
+  /// bandwidth is beta_factor x nominal. "Silent" — sampling probes and
+  /// uncontended-time queries keep reporting the healthy profile, so the
+  /// cost model only finds out through prediction error.
+  struct Degrade {
+    Time from = 0;
+    int rail = -1;          ///< fabric rail index
+    double beta_factor = 1; ///< effective bandwidth multiplier, in (0, 1]
+  };
+  std::vector<Degrade> degrade;
+
+  /// Receiver restart: at `at`, process `proc` loses its rendezvous progress
+  /// state (landed-byte bookkeeping) and must re-grant pending inbound
+  /// rendezvous. What exactly is wiped is the listener's business.
+  struct Restart {
+    Time at = 0;
+    int proc = -1;
+  };
+  std::vector<Restart> restart;
+
+  /// Probabilistic per-entry wire fault, rolled when a matching protocol
+  /// entry is delivered. Filters narrow the roll to an entry kind, a time
+  /// window and src/dst processes; -1 matches any. Probabilities are
+  /// evaluated in order drop, duplicate, delay on a single roll, so they
+  /// are mutually exclusive and their sum must be <= 1.
+  struct EntryFault {
+    int kind = -1;  ///< protocol entry kind (opaque to sim), -1 = any
+    int src = -1;   ///< sending proc filter
+    int dst = -1;   ///< receiving proc filter
+    Time from = 0;
+    Time until = 1e30;
+    double drop_p = 0;
+    double dup_p = 0;
+    double delay_p = 0;
+    Time delay = 20e-6;  ///< reorder horizon for delayed entries
+  };
+  std::vector<EntryFault> entry_faults;
+
+  bool empty() const {
+    return rail_down.empty() && degrade.empty() && restart.empty() && entry_faults.empty();
+  }
+};
+
+/// What to do with one delivered wire entry.
+enum class EntryAction : std::uint8_t { Deliver, Drop, Duplicate, Delay };
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Schedule the timed faults (rail death, restarts) on `eng`. Call exactly
+  /// once, after every listener is registered and before the run starts.
+  void arm(Engine& eng);
+
+  // --- queried by net::Fabric ---------------------------------------------
+
+  /// True once a scheduled RailDown for `rail` has fired.
+  bool rail_dead(int rail) const {
+    return rail >= 0 && rail < 64 && ((dead_mask_ >> rail) & 1u) != 0;
+  }
+  /// Effective-bandwidth multiplier for `rail` at time `now` (1.0 = healthy).
+  /// Overlapping degradations compose by taking the worst (minimum) factor.
+  double beta_factor(int rail, Time now) const;
+
+  // --- queried by the protocol layer, one roll per delivered entry --------
+
+  struct EntryDecision {
+    EntryAction action = EntryAction::Deliver;
+    Time delay = 0;  ///< set when action == Delay
+  };
+  /// Roll the entry-fault table for one delivered entry. Consumes randomness
+  /// only when some row's filters match, so unrelated traffic does not shift
+  /// the stream.
+  EntryDecision entry_action(int kind, int src, int dst, Time now);
+
+  // --- listeners (registered before arm()) --------------------------------
+
+  /// Invoked on the engine thread at the instant a rail dies, once per
+  /// registered listener, in registration order. Cores register here so no
+  /// new packet is ever admitted to a dead rail.
+  void on_rail_down(std::function<void(int rail)> fn) {
+    rail_down_fns_.push_back(std::move(fn));
+  }
+  /// Invoked when `proc` restarts.
+  void on_restart(int proc, std::function<void()> fn) {
+    restart_fns_.push_back({proc, std::move(fn)});
+  }
+
+  // --- accounting ----------------------------------------------------------
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t delays() const { return delays_; }
+
+ private:
+  FaultSpec spec_;
+  Xoshiro256 rng_;
+  std::uint64_t dead_mask_ = 0;
+  bool armed_ = false;
+  std::vector<std::function<void(int)>> rail_down_fns_;
+  std::vector<std::pair<int, std::function<void()>>> restart_fns_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace nmx::sim

@@ -240,5 +240,25 @@ TEST(EngineAtScale, DestructionWithBlockedActorsDoesNotHang) {
   eng.reset();  // must unblock + join all 64 threads without running them
 }
 
+TEST(EngineAtScale, TeardownWithPendingBlockUntilTimersIsClean) {
+  // Actors parked in block_until() each hold a live timeout event. When the
+  // engine is torn down mid-run (here: an exception aborts run() while the
+  // timers are still far in the future), request_stop() unwinds each actor
+  // with a StopToken — which skips the normal block_until epilogue that
+  // clears timer_. Teardown must tombstone-cancel those timers itself while
+  // the actors still exist; regressing this leaves resume events pointing at
+  // destroyed actors in the pool during queue destruction (caught by the
+  // sanitizer jobs).
+  auto eng = std::make_unique<Engine>();
+  for (int r = 0; r < kRanks; ++r) {
+    eng->spawn("timed" + std::to_string(r), [](sim::Actor& self) {
+      self.block_until(self.engine().now() + 1e9);  // never woken, never due
+    });
+  }
+  eng->spawn("bomb", [](sim::Actor&) { throw std::runtime_error("abort the run"); });
+  EXPECT_THROW(eng->run(), std::runtime_error);
+  eng.reset();
+}
+
 }  // namespace
 }  // namespace nmx

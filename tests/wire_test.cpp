@@ -1,7 +1,10 @@
 // Wire-format accounting: every Entry kind's header cost must match the
 // fields that kind actually carries. The CTS in particular is no longer a
 // fixed 16 bytes — it grows by RailAd::kWireSize per advertised rail, and a
-// hard-coded size here silently mis-charges every rendezvous handshake.
+// hard-coded size here silently mis-charges every rendezvous handshake. The
+// control-plane recovery fields (RTS retry counter, CTS/chunk grant epoch,
+// rail-down notification) are wire-charged too: recovery traffic must not be
+// free, or the chaos tier's recovery-time bounds measure fiction.
 #include <gtest/gtest.h>
 
 #include "nmad/wire.hpp"
@@ -14,16 +17,20 @@ using nmad::RailAd;
 using nmad::WireMsg;
 
 TEST(WireFormat, EveryKindHeaderMatchesItsFieldLayout) {
-  static_assert(Entry::kNumKinds == 4, "new Kind added: extend this test");
-  // Eager and RdvChunk pack their matching info (kind + dst + tag + seq,
-  // resp. kind + dst + rdv id + offset) into the same 16-byte budget.
+  static_assert(Entry::kNumKinds == 5, "new Kind added: extend this test");
+  // Eager packs its matching info (kind + dst + tag + seq) into 16 bytes.
   EXPECT_EQ(Entry::kEagerHeader, 16u);
-  EXPECT_EQ(Entry::kRdvChunkHeader, Entry::kEagerHeader);
-  // Rts is an Eager-style matched header plus rdv id (8) and total size (8).
-  EXPECT_EQ(Entry::kRtsHeader, Entry::kEagerHeader + 8 + 8);
-  // The CTS base grant keeps the legacy fixed cost so a no-advertisement
-  // grant (advertise_rdv_load=false) is byte-identical to the old wire format.
-  EXPECT_EQ(Entry::kCtsHeaderBase, 16u);
+  // RdvChunk is an Eager-style header plus the 4-byte grant epoch it answers
+  // (the receiver discards chunks of a superseded grant by this stamp).
+  EXPECT_EQ(Entry::kRdvChunkHeader, Entry::kEagerHeader + 4);
+  // Rts adds rdv id (8), total size (8) and the retransmission counter (4) —
+  // a retried RTS reuses seq/rdv_id, so the counter is the only thing that
+  // distinguishes it on the wire.
+  EXPECT_EQ(Entry::kRtsHeader, Entry::kEagerHeader + 8 + 8 + 4);
+  // The CTS base grant is the legacy 16-byte grant plus the 4-byte epoch.
+  EXPECT_EQ(Entry::kCtsHeaderBase, 16u + 4u);
+  // RailDown carries kind + dst bookkeeping + the dead fabric rail in 16.
+  EXPECT_EQ(Entry::kRailDownHeader, 16u);
   // RailAd: fabric rail (4) + busy delta (8) + backlog bytes (8).
   EXPECT_EQ(RailAd::kWireSize, 4u + 8u + 8u);
 }
@@ -38,18 +45,44 @@ TEST(WireFormat, HeaderBytesDispatchesOnKind) {
   EXPECT_EQ(e.header_bytes(), Entry::kCtsHeaderBase);
   e.kind = Entry::Kind::RdvChunk;
   EXPECT_EQ(e.header_bytes(), Entry::kRdvChunkHeader);
+  e.kind = Entry::Kind::RailDown;
+  EXPECT_EQ(e.header_bytes(), Entry::kRailDownHeader);
 }
 
 TEST(WireFormat, CtsHeaderGrowsByWireSizePerRailAd) {
   Entry cts;
   cts.kind = Entry::Kind::Cts;
-  // The legacy grant (no advertisement) keeps its historical 16-byte cost.
-  EXPECT_EQ(cts.header_bytes(), 16u);
+  // A no-advertisement grant costs exactly the base header.
+  EXPECT_EQ(cts.header_bytes(), Entry::kCtsHeaderBase);
   for (std::size_t n = 1; n <= 3; ++n) {
     cts.rail_ads.push_back(RailAd{static_cast<int>(n) - 1, 1e-6, 4096});
     EXPECT_EQ(cts.header_bytes(), Entry::kCtsHeaderBase + n * RailAd::kWireSize);
     EXPECT_EQ(cts.wire_bytes(), cts.header_bytes());  // a CTS has no payload
   }
+}
+
+TEST(WireFormat, RecoveryFieldsAreHeaderChargedNotExtra) {
+  // retry, epoch and down_rail are fixed header fields — always charged, so
+  // stamping them must not change an entry's wire size (no hidden free or
+  // double-charged recovery traffic).
+  Entry rts;
+  rts.kind = Entry::Kind::Rts;
+  const std::size_t rts_base = rts.wire_bytes();
+  rts.retry = 3;
+  EXPECT_EQ(rts.wire_bytes(), rts_base);
+
+  Entry cts;
+  cts.kind = Entry::Kind::Cts;
+  const std::size_t cts_base = cts.wire_bytes();
+  cts.epoch = 7;
+  EXPECT_EQ(cts.wire_bytes(), cts_base);
+
+  Entry down;
+  down.kind = Entry::Kind::RailDown;
+  const std::size_t down_base = down.wire_bytes();
+  down.down_rail = 1;
+  EXPECT_EQ(down.wire_bytes(), down_base);
+  EXPECT_EQ(down_base, Entry::kRailDownHeader);  // notification has no payload
 }
 
 TEST(WireFormat, DiagnosticFieldsAreNotWireCharged) {
