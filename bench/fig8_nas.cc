@@ -79,7 +79,15 @@ void run_proc_count(int procs, nas::NasClass cls, double fraction) {
       if (procs == 8) p = 9;
       if (procs == 32) p = 36;
     }
-    std::vector<std::string> row{kernel + (p != procs ? "(" + std::to_string(p) + ")" : "")};
+    // Built with append: the `"(" + std::to_string(p)` temporary trips a
+    // GCC 12 -Wrestrict false positive when inlined at -O3.
+    std::string label = kernel;
+    if (p != procs) {
+      label += "(";
+      label += std::to_string(p);
+      label += ")";
+    }
+    std::vector<std::string> row{label};
     for (const StackDef& s : kStacks) {
       mpi::Cluster cluster(testbed(s.stack, s.pioman, p));
       nas::NasConfig nc;

@@ -148,7 +148,7 @@ void BaseTransport::complete_recv_after(BaseRequest* req, int src, int tag, std:
   req->status.tag = tag;
   req->status.count = count;
   if (delay > 0) {
-    eng_->schedule_in(delay, [req] { req->complete_and_wake(); });
+    eng_->schedule_in_checked(delay, [req] { req->complete_and_wake(); });
   } else {
     req->complete_and_wake();
   }
@@ -177,17 +177,21 @@ void BaseTransport::inject(PendingTx tx) {
   // host CPU; the NIC then serializes transfers on its own.
   const net::Channel::Grant g = prep_cpu_.reserve(eng_->now(), sw_send_ + tx.prep);
   const int dst = tx.dst;
-  eng_->schedule(g.end, [this, dst, pkt = std::move(tx.pkt),
+  // Wrap the packet now rather than inside the closure: capturing the raw
+  // BasePkt (64 bytes) next to the on_egress std::function would spill the
+  // event slot's inline closure storage; the WirePacket's std::any wrapper
+  // is half the size and the NIC only reads it at g.end anyway.
+  net::WirePacket wp;
+  wp.src_node = my_node_;
+  wp.dst_node = fabric_->topology().node_of(dst);
+  wp.dst_proc = dst;
+  wp.rail = rail();
+  wp.bytes = tx.pkt.wire_bytes();
+  wp.payload = std::move(tx.pkt);
+  eng_->schedule_checked(g.end, [this, wp = std::move(wp),
                          on_egress = std::move(tx.on_egress)]() mutable {
-    net::WirePacket wp;
-    wp.src_node = my_node_;
-    wp.dst_node = fabric_->topology().node_of(dst);
-    wp.dst_proc = dst;
-    wp.rail = rail();
-    wp.bytes = pkt.wire_bytes();
-    wp.payload = std::move(pkt);
     const Time egress = fabric_->transmit(std::move(wp));
-    if (on_egress) eng_->schedule(egress, std::move(on_egress));
+    if (on_egress) eng_->schedule_checked(egress, std::move(on_egress));
   });
 }
 
@@ -201,7 +205,7 @@ void BaseTransport::drain() {
   while (!pending_rx_.empty()) {
     BasePkt p = std::move(pending_rx_.front());
     pending_rx_.pop_front();
-    eng_->schedule_in(sw_recv_, [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
+    eng_->schedule_in_checked(sw_recv_, [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
   }
   while (!pending_tx_.empty()) {
     PendingTx tx = std::move(pending_tx_.front());
@@ -272,7 +276,7 @@ void BaseTransport::send_self(BaseRequest* req, const void* buf, std::size_t len
   if (len > 0) std::memcpy(payload.data(), buf, len);
   const int tag = req->tag;
   const int ctx = req->context;
-  eng_->schedule_in(kSelfLatency, [this, tag, ctx, payload = std::move(payload)]() mutable {
+  eng_->schedule_in_checked(kSelfLatency, [this, tag, ctx, payload = std::move(payload)]() mutable {
     deliver_eager(rank_, tag, ctx, std::move(payload));
   });
   complete_send(req);
@@ -303,7 +307,7 @@ void BaseTransport::send_shm(BaseRequest* req, const void* buf, std::size_t len)
 void BaseTransport::handle_shm(nemesis::Message&& m) {
   const BaseShmHdr hdr = std::any_cast<BaseShmHdr>(m.header);
   if (shm_extra_ > 0) {
-    eng_->schedule_in(shm_extra_, [this, hdr, payload = std::move(m.payload)]() mutable {
+    eng_->schedule_in_checked(shm_extra_, [this, hdr, payload = std::move(m.payload)]() mutable {
       deliver_eager(hdr.src_rank, hdr.tag, hdr.context, std::move(payload));
     });
   } else {

@@ -104,7 +104,7 @@ void OmpiTransport::send_next_large_frag(std::uint64_t xid) {
     post_tx(req->peer, prep, std::move(pkt), [this, req] { complete_send(req); });
   } else {
     post_tx(req->peer, prep, std::move(pkt), [this, xid] {
-      eng().schedule_in(cfg_.pipeline_stall, [this, xid] { send_next_large_frag(xid); });
+      eng().schedule_in_checked(cfg_.pipeline_stall, [this, xid] { send_next_large_frag(xid); });
     });
   }
 }

@@ -155,7 +155,7 @@ nmad::Request* Ch3Process::nm_irecv(int src, nmad::Tag tag, void* buf, std::size
 void Ch3Process::finish(MpidRequest* req) {
   if (req->via_any_source) {
     // §4.1.1: the any-source management adds a constant ~300 ns.
-    eng_.schedule_in(calib::kAnySourceOverhead, [req] { req->complete_and_wake(); });
+    eng_.schedule_in_checked(calib::kAnySourceOverhead, [req] { req->complete_and_wake(); });
   } else {
     req->complete_and_wake();
   }
@@ -440,7 +440,7 @@ void Ch3Process::send_self(MpidRequest* req, const void* buf, std::size_t len) {
   msg.span = req->span;
   msg.payload.resize(len);
   if (len > 0) std::memcpy(msg.payload.data(), buf, len);
-  eng_.schedule_in(kSelfLatency, [this, msg = std::move(msg)]() mutable {
+  eng_.schedule_in_checked(kSelfLatency, [this, msg = std::move(msg)]() mutable {
     deliver_local(std::move(msg));
   });
   complete_send(req);  // buffered
@@ -495,7 +495,7 @@ void Ch3Process::handle_shm_message(nemesis::Message&& m) {
   if (cfg_.pioman) {
     // §4.1.2: the thread-safe progression machinery costs ~450 ns per
     // shared-memory message.
-    eng_.schedule_in(calib::kPiomanShmOverhead,
+    eng_.schedule_in_checked(calib::kPiomanShmOverhead,
                      [this, hdr, payload = std::move(m.payload), src = m.src_local]() mutable {
                        process_shm(hdr, std::move(payload), src);
                      });
@@ -584,7 +584,7 @@ void Ch3Process::send_legacy(MpidRequest* req, const void* buf, std::size_t len)
     nm_isend(req->peer, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
              [this, req](nmad::Request& nr) {
                complete_send(req);
-               eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+               eng_.schedule_checked(eng_.now(), [this, pr = &nr] { core_->release(pr); });
              });
   } else {
     // CH3 network rendezvous — whose DATA message will trigger
@@ -595,7 +595,7 @@ void Ch3Process::send_legacy(MpidRequest* req, const void* buf, std::size_t len)
     auto cell = serialize_ctl(hdr, nullptr, 0);
     nm_isend(req->peer, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
              [this](nmad::Request& nr) {
-               eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+               eng_.schedule_checked(eng_.now(), [this, pr = &nr] { core_->release(pr); });
              });
   }
 }
@@ -615,10 +615,10 @@ void Ch3Process::legacy_fetch_ctl(const nmad::ProbeInfo& info) {
   nm_irecv(src, info.tag, cell->data(), cell->size(),
            [this, cell, src](nmad::Request& nr) {
              const std::size_t got = nr.received;
-             eng_.schedule_in(calib::copy_cost(got), [this, cell, src, got] {
+             eng_.schedule_in_checked(calib::copy_cost(got), [this, cell, src, got] {
                legacy_process_ctl(src, std::move(*cell), got);
              });
-             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+             eng_.schedule_checked(eng_.now(), [this, pr = &nr] { core_->release(pr); });
            });
 }
 
@@ -676,7 +676,7 @@ void Ch3Process::legacy_grant(int src, int tag, std::uint64_t rdv_id, MpidReques
   nm_irecv(src, pack_tag(kLegacyDataContext, static_cast<int>(rdv_id & 0x7fffffff)), req->rbuf,
            req->len, [this, req, src, tag](nmad::Request& nr) {
              complete_recv(req, src, tag, nr.received, nr.peer_span);
-             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+             eng_.schedule_checked(eng_.now(), [this, pr = &nr] { core_->release(pr); });
            });
   ShmHdr cts;
   cts.kind = ShmHdr::Kind::Cts;
@@ -689,7 +689,7 @@ void Ch3Process::legacy_send_ctl(int dst, ShmHdr hdr, const void* payload, std::
   auto cell = serialize_ctl(hdr, payload, len);
   nm_isend(dst, pack_tag(kLegacyCtlContext, 0), cell.data(), cell.size(),
            [this](nmad::Request& nr) {
-             eng_.schedule(eng_.now(), [this, pr = &nr] { core_->release(pr); });
+             eng_.schedule_checked(eng_.now(), [this, pr = &nr] { core_->release(pr); });
            });
 }
 

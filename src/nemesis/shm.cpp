@@ -87,7 +87,7 @@ void ShmNode::pump(int src_local) {
         rec->metrics().counter("shm.cell_bytes").add(wire_bytes);
       }
       const int dst = s.dst_local;
-      eng_.schedule(arrival, [this, ci, dst] {
+      eng_.schedule_checked(arrival, [this, ci, dst] {
         ProcState& pd = procs_[static_cast<std::size_t>(dst)];
         pd.recv_queue.enqueue(pool_, ci);
         ++pd.mailbox;

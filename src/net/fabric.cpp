@@ -89,7 +89,7 @@ Time Fabric::transmit(WirePacket pkt) {
     rec->metrics().counter("net.rail.tx_bytes", rail_label).add(pkt.bytes);
     if (on_dead_rail) rec->metrics().counter("net.fault.tx_on_dead_rail", rail_label).add(1);
   }
-  eng_.schedule(delivery, [&dst, p = std::move(pkt)]() mutable { dst.rx(std::move(p)); });
+  eng_.schedule_checked(delivery, [&dst, p = std::move(pkt)]() mutable { dst.rx(std::move(p)); });
   return out.end;
 }
 

@@ -58,6 +58,7 @@ class Fabric {
 
   /// Register the receive handler for (node, rail). Called at delivery time
   /// on the engine thread. Exactly one handler per (node, rail).
+  // nmx-lint: engine-context (setup or engine callbacks; never from actor bodies)
   void register_rx(int node, int rail, RxHandler h);
 
   /// Queue `pkt` on the source node's NIC for `pkt.rail`. The receive
@@ -65,6 +66,13 @@ class Fabric {
   /// any queueing behind earlier transfers on either NIC). Returns the time
   /// the sending NIC finishes reading the buffer (local/egress completion) —
   /// drivers use it to schedule their next submission.
+  ///
+  /// Reserves NIC occupancy *at the current virtual time*: calling this from
+  /// an actor body instead of a scheduled callback would book the channel
+  /// before the driver's software pre-cost has elapsed, corrupting every
+  /// load probe that reads busy_until. nmx_lint's thread-discipline pass
+  /// enforces the marker below.
+  // nmx-lint: engine-context
   Time transmit(WirePacket pkt);
 
   /// Uncontended one-way transfer time on `rail` for `bytes` — what a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -135,7 +136,7 @@ Request* Core::isend(int dst, Tag tag, const void* buf, std::size_t len, void* u
     // the RTS (same seq / rdv id). Off by default — healthy runs schedule
     // nothing extra; chaos configurations opt in.
     if (cfg_.rdv_retry_timeout > 0) {
-      req->retry_timer = eng_.schedule_in(cfg_.rdv_retry_timeout, [this, req] { rts_retry(req); });
+      req->retry_timer = eng_.schedule_in_checked(cfg_.rdv_retry_timeout, [this, req] { rts_retry(req); });
     }
     if (rec != nullptr) {
       req->rdv_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadRdv, len, dst);
@@ -205,15 +206,25 @@ std::optional<ProbeInfo> Core::probe(std::optional<int> src, TagSelector sel) co
   auto consider = [&](int gsrc, Tag gtag, const std::deque<Unexpected>& q) {
     if (q.empty() || !sel.matches(gtag)) return;
     const Unexpected& u = q.front();
-    if (best == nullptr || u.arrival < best->arrival) {
+    // Total order on candidates: earliest arrival, then lowest (src, tag).
+    // The explicit tie-break makes the selection independent of the hash-map
+    // visitation order below — two messages landing at the same instant used
+    // to be picked by whichever bucket came first.
+    const bool better =
+        best == nullptr || u.arrival < best->arrival ||
+        (u.arrival == best->arrival &&
+         (gsrc < info.src || (gsrc == info.src && gtag < info.tag)));
+    if (better) {
       best = &u;
       info.src = gsrc;
       info.tag = gtag;
       info.len = u.len;
     }
   };
+  // nmx-lint: allow(determinism) selection is tie-broken to a total order above; visitation order cannot leak
   for (const auto& [gsrc, g] : gates_) {
     if (src && *src != gsrc) continue;
+    // nmx-lint: allow(determinism) same total-order tie-break as the outer loop
     for (const auto& [gtag, q] : g.unexpected) consider(gsrc, gtag, q);
   }
   if (!best) return std::nullopt;
@@ -331,7 +342,7 @@ void Core::submit(int local_rail, WireMsg wm) {
     rec->metrics().counter("nmad.rail.tx_packets", rail_label).add(1);
     rec->metrics().counter("nmad.rail.tx_bytes", rail_label).add(bytes);
   }
-  eng_.schedule_in(pre, [this, local_rail, dst, bytes, wm = std::move(wm),
+  eng_.schedule_in_checked(pre, [this, local_rail, dst, bytes, wm = std::move(wm),
                          notes = std::move(notes)]() mutable {
     net::WirePacket pkt;
     pkt.src_node = my_node_;
@@ -353,7 +364,7 @@ void Core::submit(int local_rail, WireMsg wm) {
             .add(1);
       }
     }
-    eng_.schedule(egress, [this, local_rail, notes = std::move(notes)]() mutable {
+    eng_.schedule_checked(egress, [this, local_rail, notes = std::move(notes)]() mutable {
       on_egress(local_rail, std::move(notes));
     });
   });
@@ -451,7 +462,7 @@ void Core::rts_retry(Request* req) {
   // probed at timeout, 2x, 4x, ... instead of being flooded.
   const Time backoff = cfg_.rdv_retry_timeout *
                        static_cast<double>(1ull << std::min<std::uint32_t>(req->rts_retries, 20));
-  req->retry_timer = eng_.schedule_in(backoff, [this, req] { rts_retry(req); });
+  req->retry_timer = eng_.schedule_in_checked(backoff, [this, req] { rts_retry(req); });
   kick();
 }
 
@@ -474,7 +485,7 @@ void Core::drain_rx() {
     pending_rx_.pop_front();
     // Charge the generic-layer receive cost (matching, completion dispatch,
     // PIOMan locking when enabled) per wire message.
-    eng_.schedule_in(cfg_.deliver_overhead(), [this, it = std::move(it)]() mutable {
+    eng_.schedule_in_checked(cfg_.deliver_overhead(), [this, it = std::move(it)]() mutable {
       handle_wire(it.fabric_rail, std::move(it.msg));
     });
   }
@@ -509,9 +520,13 @@ void Core::handle_wire(int fabric_rail, WireMsg m) {
         // fall through: the original lands right behind its twin
       } else if (dec.action == sim::EntryAction::Delay) {
         if (rec != nullptr) rec->metrics().counter("nmad.fault.delayed", kind_label).add(1);
-        eng_.schedule_in(dec.delay, [this, src, fabric_rail, de = std::move(e)]() mutable {
-          dispatch_entry(src, fabric_rail, std::move(de));
-        });
+        // Box the entry: a raw Entry capture (~150 bytes) would spill the
+        // event slot's inline closure storage. One explicit allocation on
+        // this cold fault path keeps the SmallFn-inline invariant intact.
+        eng_.schedule_in_checked(
+            dec.delay, [this, src, fabric_rail, de = std::make_unique<Entry>(std::move(e))] {
+              dispatch_entry(src, fabric_rail, std::move(*de));
+            });
         continue;
       }
     }
@@ -717,7 +732,7 @@ void Core::start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size
   if (any_rail_needs_registration()) reg = calib::ib_reg_cost(total);
   auto grant = [this, src, rdv_id, span = req->span] { send_cts(src, rdv_id, 0, span); };
   if (reg > 0) {
-    eng_.schedule_in(reg, grant);
+    eng_.schedule_in_checked(reg, grant);
   } else {
     grant();
   }

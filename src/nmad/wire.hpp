@@ -30,6 +30,17 @@ struct RailAd {
   static constexpr std::size_t kWireSize = 4 + 8 + 8;
 };
 
+// Wire-layout pins. The serialized ad is the three fields above, packed in
+// declaration order with no padding; a field added or widened without
+// re-deriving kWireSize (and the CTS header charging that uses it) is a
+// build error, not a silent cross-version framing bug.
+static_assert(RailAd::kWireSize == sizeof(std::int32_t) + sizeof(std::uint64_t) +
+                                       sizeof(std::uint64_t),
+              "RailAd::kWireSize must equal the packed size of (fabric_rail, busy_delta, "
+              "backlog_bytes); update the constant and the CTS charging together");
+static_assert(RailAd::kWireSize == 20, "RailAd wire size is pinned at 20 bytes "
+              "(tests/wire_test.cpp and the CTS header math both assume it)");
+
 /// One protocol unit queued toward a destination.
 struct Entry {
   enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk, RailDown };
@@ -110,6 +121,25 @@ struct Entry {
   }
   std::size_t wire_bytes() const { return header_bytes() + bytes.size(); }
 };
+
+// Fixed-header layout pins, derived from the field widths each kind carries
+// (the same derivations tests/wire_test.cpp checks at runtime; here they are
+// build errors). nmx_lint's wire-conformance pass closes the remaining gap:
+// every Kind enumerator must be charged in header_bytes() and pinned in
+// tests/wire_test.cpp, which a static_assert cannot express.
+static_assert(Entry::kEagerHeader == 16,
+              "eager header: kind + dst + tag + seq bookkeeping packed in 16");
+static_assert(Entry::kRtsHeader == Entry::kEagerHeader + sizeof(std::uint64_t) +
+                                       sizeof(std::uint64_t) + sizeof(std::uint32_t),
+              "RTS header = eager bookkeeping + rdv id (8) + total size (8) + retry (4)");
+static_assert(Entry::kCtsHeaderBase ==
+                  sizeof(std::uint64_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t),
+              "CTS base grant = rdv id (8) + ack (8) + grant epoch (4); "
+              "per-rail ads are charged on top via RailAd::kWireSize");
+static_assert(Entry::kRdvChunkHeader == Entry::kEagerHeader + sizeof(std::uint32_t),
+              "rdv chunk header = eager bookkeeping + the grant epoch it answers (4)");
+static_assert(Entry::kRailDownHeader == Entry::kEagerHeader,
+              "rail-down notification: kind + dst bookkeeping + dead rail fit the 16-byte base");
 
 /// One NIC submission: entries aggregated for a single destination.
 struct WireMsg {

@@ -13,7 +13,7 @@ Ltask& Manager::submit(std::string name, Ltask::Body body) {
 void Manager::notify() {
   if (scheduled_) return;
   scheduled_ = true;
-  eng_.schedule_in(cfg_.reaction_period, [this] {
+  eng_.schedule_in_checked(cfg_.reaction_period, [this] {
     scheduled_ = false;
     service();
   });

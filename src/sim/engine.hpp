@@ -92,16 +92,20 @@ class Actor {
 
   /// Advance this actor's virtual time to `t` (models computation / sleep).
   /// Not interruptible by wake().
+  // nmx-lint: actor-context
   void sleep_until(Time t);
   /// Convenience: sleep_until(now + dt).
+  // nmx-lint: actor-context
   void sleep_for(Time dt);
 
   /// Block until another party calls wake(). Callers must re-check their
   /// predicate in a loop; block() itself carries no payload.
+  // nmx-lint: actor-context
   void block();
 
   /// Block until wake() or until virtual `deadline`, whichever comes first.
   /// Returns true if woken, false on timeout.
+  // nmx-lint: actor-context
   bool block_until(Time deadline);
 
   // --- callable from engine callbacks or other actors --------------------
@@ -174,6 +178,36 @@ class Engine {
     emplace_fn(ev, std::forward<F>(fn));
     route(ev, dt);
     return id_of(ev);
+  }
+
+  /// True when a closure of type F is guaranteed to land in the event slot's
+  /// inline SmallFn storage (no per-event heap allocation).
+  template <typename F>
+  static constexpr bool fits_inline_v =
+      sizeof(std::decay_t<F>) <= SmallFn::kInlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  /// schedule() with a compile-time guarantee that the closure stays inline:
+  /// a capture list that grows past SmallFn::kInlineBytes (or picks up a
+  /// throwing move) becomes a build error here instead of a silent per-event
+  /// heap allocation. Hot paths use the *_checked forms; nmx_lint's
+  /// engine-capacity pass enforces that (tools/nmx_lint).
+  template <typename F>
+  EventId schedule_checked(Time t, F&& fn) {
+    static_assert(fits_inline_v<F>,
+                  "closure spills SmallFn inline storage (see SmallFn::kInlineBytes): "
+                  "shrink the capture list or use schedule() and accept the heap alloc");
+    return schedule(t, std::forward<F>(fn));
+  }
+
+  /// schedule_in() with the same compile-time inline-capacity guarantee.
+  template <typename F>
+  EventId schedule_in_checked(Time dt, F&& fn) {
+    static_assert(fits_inline_v<F>,
+                  "closure spills SmallFn inline storage (see SmallFn::kInlineBytes): "
+                  "shrink the capture list or use schedule_in() and accept the heap alloc");
+    return schedule_in(dt, std::forward<F>(fn));
   }
 
   /// Cancel a pending event: O(1) — destroys the callback and tombstones the

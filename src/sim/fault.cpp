@@ -26,14 +26,14 @@ void FaultPlan::arm(Engine& eng) {
   NMX_ASSERT_MSG(!armed_, "FaultPlan armed twice");
   armed_ = true;
   for (const auto& rd : spec_.rail_down) {
-    eng.schedule(rd.at, [this, rail = rd.rail] {
+    eng.schedule_checked(rd.at, [this, rail = rd.rail] {
       if (rail_dead(rail)) return;  // double-listed rail: first event wins
       dead_mask_ |= 1ull << rail;
       for (const auto& fn : rail_down_fns_) fn(rail);
     });
   }
   for (const auto& rs : spec_.restart) {
-    eng.schedule(rs.at, [this, proc = rs.proc] {
+    eng.schedule_checked(rs.at, [this, proc = rs.proc] {
       for (const auto& [p, fn] : restart_fns_) {
         if (p == proc) fn();
       }

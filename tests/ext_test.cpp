@@ -159,7 +159,9 @@ TEST_P(Rma, PutGetAccumulateRoundTrip) {
     const double one = 1.0;
     win.accumulate(&one, 1, 2, 0);
     win.fence();
-    if (c.rank() == 2) EXPECT_DOUBLE_EQ(win_mem[0], c.size());
+    if (c.rank() == 2) {
+      EXPECT_DOUBLE_EQ(win_mem[0], c.size());
+    }
 
     // Epoch 4: empty fence is legal.
     win.fence();

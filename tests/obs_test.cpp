@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,14 +33,17 @@ std::size_t count_occurrences(const std::string& hay, const std::string& needle)
 /// The traced workload every end-to-end test below runs: one network
 /// rendezvous, one shared-memory eager message, compute overlap, a barrier.
 mpi::Cluster& traced_cluster() {
-  static mpi::Cluster* cluster = [] {
+  // Held in a unique_ptr (not leaked) so the Engine destructor runs at exit
+  // and joins the finished actor threads — TSan flags them as leaked
+  // otherwise.
+  static std::unique_ptr<mpi::Cluster> cluster = [] {
     mpi::ClusterConfig cfg;
     cfg.nodes = 2;
     cfg.procs = 4;
     cfg.stack = mpi::StackKind::Mpich2Nmad;
     cfg.pioman = true;
     cfg.trace = true;
-    auto* c = new mpi::Cluster(cfg);
+    auto c = std::make_unique<mpi::Cluster>(cfg);
     c->run([](mpi::Comm& comm) {
       std::vector<std::byte> big(256 * 1024), small(512);
       if (comm.rank() == 0) {
@@ -163,7 +167,9 @@ TEST(RecorderRing, DropsOldestAndCountsDrops) {
   ASSERT_EQ(recs.size(), 4u);
   for (std::size_t i = 0; i < recs.size(); ++i) {
     EXPECT_EQ(recs[i].arg, static_cast<std::int64_t>(6 + i));
-    if (i > 0) EXPECT_GE(recs[i].t, recs[i - 1].t);
+    if (i > 0) {
+      EXPECT_GE(recs[i].t, recs[i - 1].t);
+    }
   }
 }
 

@@ -208,7 +208,11 @@ TEST(Condition, NotifyOneWakesFifo) {
   Condition cv;
   std::vector<int> order;
   for (int i = 0; i < 3; ++i) {
-    eng.spawn("w" + std::to_string(i), [&, i](Actor& self) {
+    // Built via append: `"w" + std::to_string(i)` trips a GCC 12 -Wrestrict
+    // false positive when inlined at -O3.
+    std::string name = "w";
+    name += std::to_string(i);
+    eng.spawn(name, [&, i](Actor& self) {
       cv.wait(self);
       order.push_back(i);
     });
@@ -225,7 +229,9 @@ TEST(Condition, NotifyAllWakesEveryone) {
   Condition cv;
   int woke = 0;
   for (int i = 0; i < 5; ++i) {
-    eng.spawn("w" + std::to_string(i), [&](Actor& self) {
+    std::string name = "w";  // append form: see NotifyOneWakesFifo
+    name += std::to_string(i);
+    eng.spawn(name, [&](Actor& self) {
       cv.wait(self);
       ++woke;
     });

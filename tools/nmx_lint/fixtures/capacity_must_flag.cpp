@@ -1,0 +1,37 @@
+// Must-flag corpus for the engine-capacity pass. The mock Engine mirrors the
+// sim::Engine scheduling surface but carries no static_assert, so these
+// violations compile — exactly the situation the lint pass exists to catch
+// at review time (in the real tree the *_checked forms also fail the build).
+#include <array>
+#include <cstddef>
+
+namespace fixture_cap_flag {
+
+using EventId = unsigned long long;
+using Time = double;
+
+struct Engine {
+  template <typename F>
+  EventId schedule(Time, F&&) { return 1; }
+  template <typename F>
+  EventId schedule_in(Time, F&&) { return 1; }
+  template <typename F>
+  EventId schedule_checked(Time, F&&) { return 1; }
+  template <typename F>
+  EventId schedule_in_checked(Time, F&&) { return 1; }
+};
+
+/// A 256-byte by-value payload capture: 2.5x the 104-byte inline event slot,
+/// so every such event would heap-allocate its closure.
+inline void oversized_capture(Engine& eng) {
+  std::array<std::byte, 256> payload{};
+  eng.schedule_in_checked(1.0, [payload] { (void)payload; });  // EXPECT: engine-capacity
+}
+
+/// Small capture, but routed through the unchecked form: nothing stops the
+/// capture list from growing past the slot later.
+inline void unchecked_schedule(Engine& eng, int dst) {
+  eng.schedule_in(1.0, [dst] { (void)dst; });  // EXPECT: engine-capacity
+}
+
+}  // namespace fixture_cap_flag

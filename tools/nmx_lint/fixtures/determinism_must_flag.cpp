@@ -1,0 +1,52 @@
+// Must-flag corpus for the determinism pass. Every line tagged EXPECT below
+// is a reproducibility leak the simulated layers must never contain: the
+// byte-identical replay tiers (determinism_test, chaos same-seed) only mean
+// something if no wall clock, hardware entropy, or hash-map visitation order
+// can reach simulated results.
+//
+// Compiled as part of the nmx_lint_fixtures target so the corpus can never
+// rot into invalid C++.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_det_flag {
+
+inline double wallclock_timestamp() {
+  const auto t = std::chrono::system_clock::now();  // EXPECT: determinism
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline double monotonic_timestamp() {
+  const auto t = std::chrono::steady_clock::now();  // EXPECT: determinism
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline int unseeded_random_backoff() {
+  return std::rand() % 7;  // EXPECT: determinism
+}
+
+inline long c_time_seed() {
+  return static_cast<long>(time(nullptr));  // EXPECT: determinism
+}
+
+inline unsigned hardware_entropy_seed() {
+  std::random_device entropy;  // EXPECT: determinism
+  return entropy();
+}
+
+/// Wire emission in hash-map visitation order: the byte stream differs
+/// across standard-library versions even though every local run "passes".
+inline std::vector<int> emit_in_bucket_order(
+    const std::unordered_map<int, int>& pending) {
+  std::vector<int> wire;
+  for (const auto& [dst, bytes] : pending) {  // EXPECT: determinism
+    wire.push_back(dst + bytes);
+  }
+  return wire;
+}
+
+}  // namespace fixture_det_flag

@@ -1,0 +1,55 @@
+// Must-pass corpus for the determinism pass: the deterministic idioms the
+// real tree uses. None of these may produce a finding.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_det_pass {
+
+struct Engine {
+  double now() const { return 0.0; }
+};
+
+/// Virtual time comes from the engine, never from the host clock.
+inline double sim_timestamp(const Engine& eng) { return eng.now(); }
+
+/// Seeded, configuration-owned PRNG (the sim/rng.hpp shape): reproducible
+/// by construction, so nothing here is flagged.
+struct SplitMix {
+  std::uint64_t state;
+  explicit SplitMix(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Ordered container: iteration order is part of the contract. `pending` is
+/// also the name of an unordered map in the must-flag fixture — the local
+/// std::map declaration must win.
+inline std::vector<int> emit_in_key_order(const std::map<int, int>& pending) {
+  std::vector<int> wire;
+  for (const auto& [dst, bytes] : pending) wire.push_back(dst + bytes);
+  return wire;
+}
+
+struct PerPeer {
+  std::unordered_map<int, int> landed;
+};
+
+/// Clearing per-element state is order-insensitive: auto-allowed.
+inline void reset_gates(std::unordered_map<int, PerPeer>& gates) {
+  for (auto& [peer, g] : gates) g.landed.clear();
+}
+
+/// Commutative fold, with the justification the suppression grammar requires.
+inline long total_landed(const std::unordered_map<int, int>& landed) {
+  long sum = 0;
+  // nmx-lint: allow(determinism) integer sum is commutative; order cannot leak
+  for (const auto& [peer, bytes] : landed) sum += bytes;
+  return sum;
+}
+
+}  // namespace fixture_det_pass

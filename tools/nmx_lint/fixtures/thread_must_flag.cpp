@@ -1,0 +1,50 @@
+// Must-flag corpus for the thread-discipline pass. The mocks mirror the
+// sim::Engine / net::Fabric surfaces including their context markers: the
+// pass learns which functions are engine-context / actor-context from the
+// `nmx-lint: <context>` comments on the declarations.
+#include <functional>
+#include <string>
+
+namespace fixture_thr_flag {
+
+struct Packet {
+  int dst = 0;
+};
+
+struct Fabric {
+  /// Books NIC occupancy at the current virtual time.
+  // nmx-lint: engine-context
+  double transmit(Packet) { return 0.0; }
+};
+
+struct Actor {
+  // nmx-lint: actor-context
+  bool block_until(double) { return true; }
+  void wake() {}
+};
+
+struct Engine {
+  template <typename F>
+  unsigned long long schedule_in_checked(double, F&&) { return 1; }
+  Actor& spawn(const std::string&, std::function<void(Actor&)>) {
+    static Actor a;
+    return a;
+  }
+};
+
+/// An actor body driving the NIC directly: occupancy gets booked before the
+/// driver's software pre-cost has elapsed, bypassing the event queue.
+inline void actor_touches_nic(Engine& eng, Fabric& fab) {
+  eng.spawn("sender", [&fab](Actor&) {
+    fab.transmit(Packet{});  // EXPECT: thread-discipline
+  });
+}
+
+/// An engine callback blocking an actor: engine callbacks must never block.
+inline void callback_blocks(Engine& eng, Actor& actor) {
+  eng.schedule_in_checked(1.0, [&actor] {
+    actor.block_until(2.0);  // EXPECT: thread-discipline
+  });
+}
+
+}  // namespace fixture_thr_flag

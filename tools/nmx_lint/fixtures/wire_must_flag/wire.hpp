@@ -1,0 +1,30 @@
+// Must-flag corpus for the wire-conformance pass: a miniature wire header
+// where a Kind was added (Probe) without updating kNumKinds, without
+// charging it in header_bytes(), and without a layout pin in wire_test.cpp
+// — the three regressions the pass exists to catch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture_wire_flag {
+
+struct Entry {
+  enum class Kind : std::uint8_t { Eager, Rts, Probe };  // EXPECT: wire-conformance
+  static constexpr int kNumKinds = 2;  // EXPECT: wire-conformance
+
+  static constexpr std::size_t kEagerHeader = 16;
+  static constexpr std::size_t kRtsHeader = 36;
+
+  Kind kind = Kind::Eager;
+
+  std::size_t header_bytes() const {  // EXPECT: wire-conformance
+    switch (kind) {
+      case Kind::Eager: return kEagerHeader;
+      case Kind::Rts: return kRtsHeader;
+      default: return kEagerHeader;  // Probe rides for free: never charged
+    }
+  }
+};
+
+}  // namespace fixture_wire_flag

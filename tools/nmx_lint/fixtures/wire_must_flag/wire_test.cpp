@@ -1,0 +1,13 @@
+// Layout pins for the shipped kinds only — Kind::Probe never got one, which
+// the wire-conformance pass reports at the enum in wire.hpp.
+#include "wire.hpp"
+
+namespace fixture_wire_flag {
+
+static_assert(Entry::kEagerHeader == 16, "eager header pin");
+static_assert(Entry::kRtsHeader == 36, "rts header pin");
+
+int pin_eager() { return static_cast<int>(Entry::Kind::Eager); }
+int pin_rts() { return static_cast<int>(Entry::Kind::Rts); }
+
+}  // namespace fixture_wire_flag

@@ -1,0 +1,37 @@
+// Must-pass corpus for the wire-conformance pass: every enumerator counted
+// by kNumKinds, charged in header_bytes(), named in kind_name(), and pinned
+// in the sibling wire_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture_wire_pass {
+
+struct Entry {
+  enum class Kind : std::uint8_t { Eager, Rts };
+  static constexpr int kNumKinds = 2;
+
+  static constexpr std::size_t kEagerHeader = 16;
+  static constexpr std::size_t kRtsHeader = 36;
+
+  Kind kind = Kind::Eager;
+
+  std::size_t header_bytes() const {
+    switch (kind) {
+      case Kind::Eager: return kEagerHeader;
+      case Kind::Rts: return kRtsHeader;
+    }
+    return kEagerHeader;
+  }
+
+  static const char* kind_name(Kind k) {
+    switch (k) {
+      case Kind::Eager: return "Eager";
+      case Kind::Rts: return "Rts";
+    }
+    return "?";
+  }
+};
+
+}  // namespace fixture_wire_pass

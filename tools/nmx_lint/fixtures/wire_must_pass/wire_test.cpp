@@ -1,0 +1,12 @@
+// Complete layout pins: one per Kind enumerator.
+#include "wire.hpp"
+
+namespace fixture_wire_pass {
+
+static_assert(Entry::kEagerHeader == 16, "eager header pin");
+static_assert(Entry::kRtsHeader == 36, "rts header pin");
+
+int pin_eager() { return static_cast<int>(Entry::Kind::Eager); }
+int pin_rts() { return static_cast<int>(Entry::Kind::Rts); }
+
+}  // namespace fixture_wire_pass

@@ -1,0 +1,1 @@
+"""nmx_lint: repo-specific static checks (see nmx_lint.py for the CLI)."""

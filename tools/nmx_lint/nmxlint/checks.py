@@ -1,0 +1,475 @@
+"""The four nmx_lint passes (builtin lexical frontend).
+
+Each check is a callable ``run(files, ctx) -> List[Finding]`` over parsed
+SourceFile objects.  Findings already filtered through per-line
+``nmx-lint: allow(<check>)`` suppressions.  See tools/nmx_lint/README.md for
+the rule catalogue and DESIGN.md "Determinism invariants" for why each rule
+exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .source import (
+    Finding,
+    Lambda,
+    SourceFile,
+    find_lambdas,
+    match_brace,
+    split_top_level,
+)
+
+
+@dataclasses.dataclass
+class Context:
+    """Cross-file knowledge shared by the checks."""
+
+    # capture-capacity bound; parsed from smallfn.hpp when linting the tree
+    inline_bytes: int = 104
+    # wire-conformance inputs
+    wire_header: Optional[SourceFile] = None
+    wire_test: Optional[SourceFile] = None
+    # names of unordered-/ordered-container variables harvested per file and
+    # globally (headers declare members that .cpp files iterate)
+    unordered_names: Set[str] = dataclasses.field(default_factory=set)
+    ordered_names: Set[str] = dataclasses.field(default_factory=set)
+    per_file_ordered: Dict[str, Set[str]] = dataclasses.field(default_factory=dict)
+    per_file_unordered: Dict[str, Set[str]] = dataclasses.field(default_factory=dict)
+    # thread-discipline markers harvested from every file in the run
+    engine_context_fns: Set[str] = dataclasses.field(default_factory=set)
+    actor_context_fns: Set[str] = dataclasses.field(default_factory=set)
+
+
+# ---------------------------------------------------------------------------
+# shared harvesting
+# ---------------------------------------------------------------------------
+
+_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+_ORDERED_DECL_RE = re.compile(r"\b(?:map|set|multimap|multiset|vector|deque|array|list)\s*<")
+
+
+def _decl_names(code: str, head_re: re.Pattern) -> Set[str]:
+    """Variable/member names declared with a container type matched by
+    head_re, e.g. ``std::unordered_map<Tag, int> send_seq;`` -> {"send_seq"}."""
+    names: Set[str] = set()
+    for m in head_re.finditer(code):
+        # walk the template argument list
+        depth = 0
+        i = m.end() - 1
+        n = len(code)
+        while i < n:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = code[i + 1:i + 160]
+        dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)\[]", tail)
+        if dm is not None:
+            names.add(dm.group(1))
+    return names
+
+
+def build_context(files: Iterable[SourceFile], ctx: Context) -> None:
+    for sf in files:
+        unordered = _decl_names(sf.code, _UNORDERED_DECL_RE)
+        ordered = _decl_names(sf.code, _ORDERED_DECL_RE) - unordered
+        ctx.per_file_unordered[sf.path] = unordered
+        ctx.per_file_ordered[sf.path] = ordered
+        ctx.unordered_names |= unordered
+        ctx.ordered_names |= ordered
+        ctx.engine_context_fns |= sf.engine_context_fns
+        ctx.actor_context_fns |= sf.actor_context_fns
+
+
+# ---------------------------------------------------------------------------
+# check 1: determinism
+# ---------------------------------------------------------------------------
+
+# Wall-clock and entropy sources. Simulated code must take time from
+# sim::Engine::now() and randomness from a seeded generator threaded through
+# the configuration, or byte-identical replay (determinism_test, the chaos
+# same-seed tier) silently stops meaning anything.
+_BANNED_TOKENS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bsystem_clock\b"), "wall clock (std::chrono::system_clock)"),
+    (re.compile(r"\bsteady_clock\b"), "wall clock (std::chrono::steady_clock)"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "wall clock (std::chrono::high_resolution_clock)"),
+    (re.compile(r"\brandom_device\b"), "hardware entropy (std::random_device)"),
+    (re.compile(r"\brand\s*\("), "unseeded C rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand() — seed state hidden from the run configuration"),
+    (re.compile(r"\btime\s*\(\s*(?:0|NULL|nullptr)?\s*\)"), "wall clock (time())"),
+    (re.compile(r"\bclock_gettime\b"), "wall clock (clock_gettime)"),
+    (re.compile(r"\bgettimeofday\b"), "wall clock (gettimeofday)"),
+    (re.compile(r"\bgetentropy\b"), "hardware entropy (getentropy)"),
+]
+
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+# a loop body that only clears/erases per-element state is order-insensitive
+_CLEAR_ONLY_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*\.(?:clear|reset)\(\)\s*;\s*)+$")
+
+
+def _range_expr_root(expr: str) -> Optional[str]:
+    """Last member-chain component of a range expression: ``g.unexpected`` ->
+    ``unexpected``, ``gates_`` -> ``gates_``. None for calls/complex exprs."""
+    expr = expr.strip()
+    if not expr or expr.endswith(")"):
+        return None
+    m = re.search(r"([A-Za-z_]\w*)$", expr)
+    return m.group(1) if m else None
+
+
+def check_determinism(files: List[SourceFile], ctx: Context) -> List[Finding]:
+    out: List[Finding] = []
+    for sf in files:
+        for pat, what in _BANNED_TOKENS:
+            for m in pat.finditer(sf.code):
+                line = sf.line_of(m.start())
+                if sf.suppressed(line, "determinism"):
+                    continue
+                out.append(Finding(
+                    "determinism", sf.path, line,
+                    f"{what} in simulated code: take time from Engine::now() "
+                    "and randomness from a config-seeded generator"))
+        out.extend(_unordered_iteration(sf, ctx))
+    return out
+
+
+def _unordered_iteration(sf: SourceFile, ctx: Context) -> List[Finding]:
+    out: List[Finding] = []
+    local_ordered = ctx.per_file_ordered.get(sf.path, set())
+    local_unordered = ctx.per_file_unordered.get(sf.path, set())
+    for m in _RANGE_FOR_RE.finditer(sf.code):
+        close = match_brace(sf.code, m.end() - 1, "(", ")")
+        header = sf.code[m.end():close - 1]
+        parts = split_top_level(header, ":")
+        if len(parts) != 2:
+            continue  # classic for(;;), not a range-for
+        root = _range_expr_root(parts[1])
+        if root is None:
+            continue
+        is_unordered = root in ctx.unordered_names or root in local_unordered
+        # a local declaration with an ordered/sequence type wins over a
+        # same-named unordered member elsewhere in the tree
+        if root in local_ordered and root not in local_unordered:
+            is_unordered = False
+        if root in ctx.ordered_names and root not in ctx.unordered_names:
+            is_unordered = False
+        if not is_unordered:
+            continue
+        line = sf.line_of(m.start())
+        if sf.suppressed(line, "determinism"):
+            continue
+        # order-insensitive loop bodies (pure per-element clear) are fine
+        body_start = close
+        while body_start < len(sf.code) and sf.code[body_start] in " \t\n":
+            body_start += 1
+        if body_start < len(sf.code):
+            if sf.code[body_start] == "{":
+                body = sf.code[body_start + 1:match_brace(sf.code, body_start) - 1]
+            else:
+                semi = sf.code.find(";", body_start)
+                body = sf.code[body_start:semi + 1] if semi >= 0 else ""
+            if _CLEAR_ONLY_RE.match(body.strip()):
+                continue
+        out.append(Finding(
+            "determinism", sf.path, line,
+            f"range-iteration over unordered container '{root}': hash-map "
+            "visitation order leaks into results — iterate an ordered "
+            "structure, impose a total order, or annotate "
+            "`nmx-lint: allow(determinism) <why order cannot leak>`"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# check 2: wire conformance
+# ---------------------------------------------------------------------------
+
+_ENUM_KIND_RE = re.compile(r"enum\s+class\s+Kind[^{]*\{([^}]*)\}")
+_NUM_KINDS_RE = re.compile(r"kNumKinds\s*=\s*(\d+)")
+_CASE_RE = re.compile(r"case\s+(?:Entry\s*::\s*)?Kind\s*::\s*(\w+)")
+
+
+def _switch_cases(sf: SourceFile, fn_name: str) -> Optional[Tuple[int, Set[str]]]:
+    """(line, {case enumerators}) of the switch inside fn_name's body."""
+    m = re.search(r"\b" + re.escape(fn_name) + r"\s*\([^)]*\)[^{;]*\{", sf.code)
+    if m is None:
+        return None
+    body_end = match_brace(sf.code, m.end() - 1)
+    body = sf.code[m.end():body_end]
+    return sf.line_of(m.start()), {c.group(1) for c in _CASE_RE.finditer(body)}
+
+
+def check_wire_conformance(files: List[SourceFile], ctx: Context) -> List[Finding]:
+    out: List[Finding] = []
+    hdr, test = ctx.wire_header, ctx.wire_test
+    if hdr is None:
+        return out
+    em = _ENUM_KIND_RE.search(hdr.code)
+    if em is None:
+        out.append(Finding("wire-conformance", hdr.path, 1,
+                           "no `enum class Kind` found in wire header"))
+        return out
+    enum_line = hdr.line_of(em.start())
+    kinds = []
+    for item in em.group(1).split(","):
+        name = item.split("=")[0].strip()
+        if name:
+            kinds.append(name)
+
+    nm = _NUM_KINDS_RE.search(hdr.code)
+    if nm is not None:
+        declared = int(nm.group(1))
+        line = hdr.line_of(nm.start())
+        if declared != len(kinds) and not hdr.suppressed(line, "wire-conformance"):
+            out.append(Finding(
+                "wire-conformance", hdr.path, line,
+                f"kNumKinds = {declared} but enum class Kind has "
+                f"{len(kinds)} enumerators"))
+
+    for fn in ("header_bytes", "kind_name"):
+        res = _switch_cases(hdr, fn)
+        if res is None:
+            continue
+        fn_line, cases = res
+        if hdr.suppressed(fn_line, "wire-conformance"):
+            continue
+        for k in kinds:
+            if k not in cases:
+                out.append(Finding(
+                    "wire-conformance", hdr.path, fn_line,
+                    f"{fn}() switch does not handle Kind::{k} — every wire "
+                    "kind must be charged/named explicitly"))
+        for c in cases:
+            if c not in kinds:
+                out.append(Finding(
+                    "wire-conformance", hdr.path, fn_line,
+                    f"{fn}() switch handles unknown enumerator Kind::{c}"))
+
+    if test is not None:
+        pinned = {c.group(1) for c in _CASE_RE.finditer(test.code)}
+        pinned |= {m.group(1) for m in re.finditer(r"Kind\s*::\s*(\w+)", test.code)}
+        for k in kinds:
+            if k not in pinned and not hdr.suppressed(enum_line, "wire-conformance"):
+                out.append(Finding(
+                    "wire-conformance", hdr.path, enum_line,
+                    f"Kind::{k} has no layout pin in {test.path} — add a "
+                    "header-size test before shipping a new wire kind"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# check 3: engine capacity
+# ---------------------------------------------------------------------------
+
+_SCHEDULE_UNCHECKED = ["schedule", "schedule_in"]
+_SCHEDULE_CHECKED = ["schedule_checked", "schedule_in_checked"]
+
+# libstdc++ x86-64 sizes for the types that show up in capture lists.
+_TYPE_SIZES: Dict[str, int] = {
+    "bool": 1, "char": 1, "signed char": 1, "unsigned char": 1,
+    "short": 2, "unsigned short": 2, "int": 4, "unsigned": 4,
+    "unsigned int": 4, "float": 4, "long": 8, "unsigned long": 8,
+    "long long": 8, "unsigned long long": 8, "double": 8, "size_t": 8,
+    "std::size_t": 8, "std::uint8_t": 1, "std::uint16_t": 2,
+    "std::uint32_t": 4, "std::uint64_t": 8, "std::int8_t": 1,
+    "std::int16_t": 2, "std::int32_t": 4, "std::int64_t": 8,
+    "uint8_t": 1, "uint16_t": 2, "uint32_t": 4, "uint64_t": 8,
+    "int8_t": 1, "int16_t": 2, "int32_t": 4, "int64_t": 8,
+    "Time": 8, "double_t": 8, "std::byte": 1,
+}
+_TEMPLATE_SIZES: Dict[str, int] = {
+    "vector": 24, "basic_string": 32, "string": 32, "deque": 80,
+    "function": 32, "unique_ptr": 8, "shared_ptr": 16, "any": 16,
+    "optional_ptr": 8, "span": 16, "string_view": 16, "list": 24,
+    "map": 48, "set": 48, "unordered_map": 56, "unordered_set": 56,
+}
+_UNKNOWN_SIZE = 16  # conservative floor for an unrecognized by-value type
+
+
+def _type_size(type_text: str) -> Tuple[int, bool]:
+    """(bytes, exact) for a declared type. Pointers/references are 8."""
+    t = type_text.strip().rstrip("&*").strip()
+    if type_text.rstrip().endswith(("*", "&")):
+        return 8, True
+    if t.startswith("const "):
+        t = t[len("const "):].strip()
+    if t in _TYPE_SIZES:
+        return _TYPE_SIZES[t], True
+    m = re.match(r"(?:std\s*::\s*)?array\s*<(.+),\s*(\d+)\s*>$", t)
+    if m is not None:
+        elem, exact = _type_size(m.group(1))
+        return elem * int(m.group(2)), exact
+    m = re.match(r"(?:std\s*::\s*)?(\w+)\s*<", t)
+    if m is not None and m.group(1) in _TEMPLATE_SIZES:
+        return _TEMPLATE_SIZES[m.group(1)], True
+    base = t.split("::")[-1]
+    if base in _TYPE_SIZES:
+        return _TYPE_SIZES[base], True
+    return _UNKNOWN_SIZE, False
+
+
+_DECL_FOR_NAME_TMPL = (
+    r"([A-Za-z_][\w:]*(?:\s*<[^;{{}}()]*>)?(?:\s+const)?[\s*&]+)"
+    r"{name}\s*(?:[;=({{\[]|,|\))"
+)
+
+
+def _find_decl_type(code: str, upto: int, name: str) -> Optional[str]:
+    """Declared type of `name`, from the nearest preceding declaration."""
+    pat = re.compile(_DECL_FOR_NAME_TMPL.format(name=re.escape(name)))
+    best = None
+    for m in pat.finditer(code, 0, upto):
+        head = m.group(1).strip()
+        if head in ("return", "else", "case", "delete", "new", "typename",
+                    "using", "namespace", "goto", "break", "continue"):
+            continue
+        best = head
+    return best
+
+
+def estimate_capture_bytes(sf: SourceFile, lam: Lambda) -> Tuple[int, bool]:
+    """(estimated closure size, exact) from the capture list. References,
+    pointers and `this` cost 8; by-value captures are sized from the nearest
+    visible declaration. Unknown types count a conservative 16 bytes, making
+    the estimate a lower bound (exact=False)."""
+    total = 0
+    exact = True
+    for item in split_top_level(lam.captures):
+        if not item:
+            continue
+        if item in ("&", "="):
+            # default capture: individual captures are invisible lexically
+            exact = False
+            continue
+        if item == "this" or item.startswith("&") or item == "*this":
+            total += 8
+            continue
+        name = item.split("=")[0].strip()
+        init = item.split("=", 1)[1].strip() if "=" in item else item
+        mm = re.match(r"std\s*::\s*move\s*\(\s*([\w.\->]+)\s*\)", init)
+        if mm is not None:
+            init_name = mm.group(1).split(".")[-1].split("->")[-1]
+        elif re.match(r"[A-Za-z_]\w*$", init):
+            init_name = init
+        elif re.match(r"std\s*::\s*make_unique\b", init):
+            total += 8
+            continue
+        else:
+            total += 8  # literal / address-of / arithmetic expression
+            continue
+        decl = _find_decl_type(sf.code, lam.start, init_name)
+        if decl is None:
+            total += _UNKNOWN_SIZE
+            exact = False
+            continue
+        sz, ex = _type_size(decl)
+        total += sz
+        exact = exact and ex
+        _ = name
+    return total, exact
+
+
+def check_engine_capacity(files: List[SourceFile], ctx: Context) -> List[Finding]:
+    out: List[Finding] = []
+    cap = ctx.inline_bytes
+    for sf in files:
+        for fn, a0, a1 in sf.call_argument_ranges(_SCHEDULE_UNCHECKED + _SCHEDULE_CHECKED):
+            lams = find_lambdas(sf.code, a0, a1)
+            # only the lambda passed directly as the callback argument —
+            # nested lambdas inside its body are not this event's closure
+            lams = [l for l in lams if l.start < (lams[0].body_begin if lams else a1)][:1]
+            if not lams:
+                continue
+            lam = lams[0]
+            line = sf.line_of(lam.start)
+            call_line = sf.line_of(a0)
+            checked = fn in _SCHEDULE_CHECKED
+            est, exact = estimate_capture_bytes(sf, lam)
+            if not checked and not (sf.suppressed(line, "engine-capacity")
+                                    or sf.suppressed(call_line, "engine-capacity")):
+                out.append(Finding(
+                    "engine-capacity", sf.path, call_line,
+                    f"lambda scheduled via unchecked {fn}(): use "
+                    f"{fn}_checked() so a capture list outgrowing the "
+                    f"{cap}-byte inline slot breaks the build, or annotate "
+                    "`nmx-lint: allow(engine-capacity) <why the spill is ok>`"))
+            if est > cap and not (sf.suppressed(line, "engine-capacity")
+                                  or sf.suppressed(call_line, "engine-capacity")):
+                out.append(Finding(
+                    "engine-capacity", sf.path, line,
+                    f"captures {'=' if exact else '>='} {est} bytes, over the "
+                    f"{cap}-byte SmallFn inline slot: the closure heap-"
+                    "allocates on every event — move bulky state behind a "
+                    "pointer or pre-build it outside the closure"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# check 4: thread discipline
+# ---------------------------------------------------------------------------
+
+def _regions(sf: SourceFile, fn_names: List[str]) -> List[Tuple[int, int]]:
+    """Body extents of lambdas passed to any of fn_names."""
+    out: List[Tuple[int, int]] = []
+    for _, a0, a1 in sf.call_argument_ranges(fn_names):
+        for lam in find_lambdas(sf.code, a0, a1):
+            if lam.start < a1:
+                out.append((lam.body_begin, lam.body_end))
+                break  # first lambda per call: the callback/body argument
+    return out
+
+
+def check_thread_discipline(files: List[SourceFile], ctx: Context) -> List[Finding]:
+    out: List[Finding] = []
+    if not ctx.engine_context_fns and not ctx.actor_context_fns:
+        return out
+    for sf in files:
+        actor_regions = _regions(sf, ["spawn"])
+        engine_regions = _regions(sf, _SCHEDULE_UNCHECKED + _SCHEDULE_CHECKED)
+
+        def in_any(pos: int, regions: List[Tuple[int, int]]) -> bool:
+            return any(b <= pos < e for b, e in regions)
+
+        for name in sorted(ctx.engine_context_fns):
+            for m in re.finditer(r"[.\->]\s*" + re.escape(name) + r"\s*\(", sf.code):
+                pos = m.start()
+                # innermost context wins: a schedule-lambda inside an actor
+                # body is engine context
+                if in_any(pos, actor_regions) and not in_any(pos, engine_regions):
+                    line = sf.line_of(pos)
+                    if sf.suppressed(line, "thread-discipline"):
+                        continue
+                    out.append(Finding(
+                        "thread-discipline", sf.path, line,
+                        f"{name}() is engine-context (mutates engine/fabric "
+                        "shared state at the current virtual time) but is "
+                        "called from an actor body — route it through "
+                        "Engine::schedule*() instead"))
+        for name in sorted(ctx.actor_context_fns):
+            for m in re.finditer(r"[.\->]\s*" + re.escape(name) + r"\s*\(", sf.code):
+                pos = m.start()
+                if in_any(pos, engine_regions):
+                    line = sf.line_of(pos)
+                    if sf.suppressed(line, "thread-discipline"):
+                        continue
+                    out.append(Finding(
+                        "thread-discipline", sf.path, line,
+                        f"{name}() blocks the calling actor but is invoked "
+                        "from an engine callback — engine callbacks must "
+                        "never block; wake the actor and let it re-check "
+                        "its predicate"))
+    return out
+
+
+ALL_CHECKS = {
+    "determinism": check_determinism,
+    "wire-conformance": check_wire_conformance,
+    "engine-capacity": check_engine_capacity,
+    "thread-discipline": check_thread_discipline,
+}

@@ -1,0 +1,202 @@
+"""Optional libclang (clang.cindex) frontend for the type-sensitive passes.
+
+When python-clang + libclang are installed (the CI lint job installs them;
+the dev container may not have them), this module replaces the *evidence
+source* for the two checks where a real AST beats lexical analysis:
+
+  * determinism: banned wall-clock/entropy calls are matched against fully
+    qualified names, and range-for statements are classified by the actual
+    (desugared) type of the range expression — no name-collision heuristics;
+  * engine-capacity: the closure size of a lambda passed to Engine::schedule*
+    is the compiler's own record layout (Type.get_sizeof), not an estimate.
+
+The wire-conformance and thread-discipline passes stay textual in both
+frontends: they reason about comments, test pins and annotation markers that
+no AST carries.  Every entry point degrades gracefully: import failure,
+missing compile_commands.json or a TU that fails to parse makes the caller
+fall back to the builtin frontend for that evidence.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .source import Finding, SourceFile
+
+_BANNED_QUALIFIED = {
+    "std::chrono::system_clock": "wall clock (std::chrono::system_clock)",
+    "std::chrono::steady_clock": "wall clock (std::chrono::steady_clock)",
+    "std::chrono::high_resolution_clock":
+        "wall clock (std::chrono::high_resolution_clock)",
+    "std::random_device": "hardware entropy (std::random_device)",
+    "rand": "unseeded C rand()",
+    "srand": "srand() — seed state hidden from the run configuration",
+    "time": "wall clock (time())",
+    "clock_gettime": "wall clock (clock_gettime)",
+    "gettimeofday": "wall clock (gettimeofday)",
+    "getentropy": "hardware entropy (getentropy)",
+}
+
+
+def clang_available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _qualified(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.spelling:
+        parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+class ClangEvidence:
+    """AST-derived facts for one run; keys are (abs path, 1-based line)."""
+
+    def __init__(self) -> None:
+        self.banned_calls: List[Tuple[str, int, str]] = []
+        self.unordered_fors: List[Tuple[str, int, str]] = []
+        # (path, line, closure_bytes, callee_name)
+        self.closures: List[Tuple[str, int, int, str]] = []
+        self.parsed_files: set = set()
+
+
+def collect(build_dir: str, paths: List[str]) -> Optional[ClangEvidence]:
+    """Parse every TU in compile_commands.json that covers `paths` and
+    harvest evidence. None when libclang is unusable."""
+    if not clang_available():
+        return None
+    import clang.cindex as ci
+
+    try:
+        cdb = ci.CompilationDatabase.fromDirectory(build_dir)
+    except ci.CompilationDatabaseError:
+        return None
+    index = ci.Index.create()
+    wanted = {os.path.realpath(p) for p in paths}
+    ev = ClangEvidence()
+
+    for cmd in cdb.getAllCompileCommands():
+        tu_path = os.path.realpath(os.path.join(cmd.directory, cmd.filename))
+        if tu_path not in wanted:
+            continue
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in (cmd.filename, tu_path, "-c", "-o")]
+        # drop the object-file operand that follows a stripped -o
+        args = [a for a in args if not a.endswith(".o")]
+        try:
+            tu = index.parse(tu_path, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        ev.parsed_files.add(tu_path)
+        _walk(ci, tu.cursor, wanted, ev)
+    return ev
+
+
+def _walk(ci, cursor, wanted, ev: ClangEvidence) -> None:
+    K = ci.CursorKind
+    for node in cursor.walk_preorder():
+        loc = node.location
+        if loc.file is None:
+            continue
+        path = os.path.realpath(loc.file.name)
+        if path not in wanted:
+            continue
+        if node.kind in (K.DECL_REF_EXPR, K.TYPE_REF):
+            ref = node.referenced
+            if ref is not None:
+                q = _qualified(ref)
+                for banned, what in _BANNED_QUALIFIED.items():
+                    if q == banned or q.endswith("::" + banned):
+                        ev.banned_calls.append((path, loc.line, what))
+                        break
+        elif node.kind == K.CXX_FOR_RANGE_STMT:
+            children = list(node.get_children())
+            if children:
+                rng = children[-2] if len(children) >= 2 else children[0]
+                t = rng.type.get_canonical().spelling if rng.type else ""
+                if "unordered_map" in t or "unordered_set" in t or \
+                   "unordered_multimap" in t or "unordered_multiset" in t:
+                    ev.unordered_fors.append((path, loc.line, t))
+        elif node.kind == K.CALL_EXPR and node.spelling in (
+                "schedule", "schedule_in", "schedule_checked",
+                "schedule_in_checked"):
+            for arg in node.get_arguments():
+                lam = _first_lambda(ci, arg)
+                if lam is not None:
+                    size = lam.type.get_sizeof()
+                    if isinstance(size, int) and size > 0:
+                        ev.closures.append(
+                            (path, lam.location.line, size, node.spelling))
+                    break
+
+
+def _first_lambda(ci, node):
+    if node is None:
+        return None
+    if node.kind == ci.CursorKind.LAMBDA_EXPR:
+        return node
+    for child in node.get_children():
+        found = _first_lambda(ci, child)
+        if found is not None:
+            return found
+    return None
+
+
+def determinism_findings(ev: ClangEvidence,
+                         files: Dict[str, SourceFile]) -> List[Finding]:
+    out: List[Finding] = []
+    for path, line, what in ev.banned_calls:
+        sf = files.get(path)
+        if sf is not None and sf.suppressed(line, "determinism"):
+            continue
+        out.append(Finding(
+            "determinism", path, line,
+            f"{what} in simulated code: take time from Engine::now() and "
+            "randomness from a config-seeded generator"))
+    for path, line, t in ev.unordered_fors:
+        sf = files.get(path)
+        if sf is not None and sf.suppressed(line, "determinism"):
+            continue
+        out.append(Finding(
+            "determinism", path, line,
+            f"range-iteration over '{t}': hash-map visitation order leaks "
+            "into results — iterate an ordered structure, impose a total "
+            "order, or annotate `nmx-lint: allow(determinism) <reason>`"))
+    return out
+
+
+def capacity_findings(ev: ClangEvidence, files: Dict[str, SourceFile],
+                      cap: int) -> List[Finding]:
+    out: List[Finding] = []
+    for path, line, size, callee in ev.closures:
+        sf = files.get(path)
+        suppressed = sf is not None and (
+            sf.suppressed(line, "engine-capacity"))
+        if suppressed:
+            continue
+        if callee in ("schedule", "schedule_in"):
+            out.append(Finding(
+                "engine-capacity", path, line,
+                f"lambda scheduled via unchecked {callee}(): use "
+                f"{callee}_checked() so a capture list outgrowing the "
+                f"{cap}-byte inline slot breaks the build, or annotate "
+                "`nmx-lint: allow(engine-capacity) <why the spill is ok>`"))
+        if size > cap:
+            out.append(Finding(
+                "engine-capacity", path, line,
+                f"closure is {size} bytes (compiler layout), over the "
+                f"{cap}-byte SmallFn inline slot: the closure heap-allocates "
+                "on every event — move bulky state behind a pointer or "
+                "pre-build it outside the closure"))
+    return out
