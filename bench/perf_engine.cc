@@ -1,15 +1,23 @@
 // Wall-clock performance harness for the simulation engine — the repo's perf
-// trajectory. Two workloads:
+// trajectory. Three workloads:
 //
 //   * storm      — a synthetic self-sustaining event storm (4096 concurrent
 //                  chains, NIC-style constant deltas, periodic far-future
 //                  timeouts cancelled by the next event) that isolates the
 //                  raw schedule/cancel/dispatch path. This is the ≥2x
 //                  microbench the pooled-event engine is measured by.
+//   * spawn      — actor spawn/teardown microbench: waves of short-lived
+//                  actors created, run, and reaped. Measures the fiber
+//                  forge + pooled-stack acquire/release path (one mmap per
+//                  concurrently-live actor, reuse after); "events" counts
+//                  actors created + destroyed.
 //   * nas_cg_s   — fig8-style NAS CG class S on the Grid'5000 testbed
-//                  (10 nodes, IB, cyclic placement, MPICH2-NMad + PIOMan)
-//                  at 8/16/32/64 ranks: the real simulator hot path, with
-//                  actors, the fabric and the full protocol stack in play.
+//                  (10 nodes, IB, cyclic placement, MPICH2-NMad + PIOMan):
+//                  the real simulator hot path, with actors, the fabric and
+//                  the full protocol stack in play. The fiber runtime runs
+//                  it from 8 up to 1024 ranks (--ranks=128,256,512,1024);
+//                  peak RSS must stay sub-linear in ranks (pooled lazily
+//                  committed stacks), gated by --rss-sublinear in CI.
 //
 // Each run reports simulated events, wall seconds, events/sec and peak RSS,
 // and the whole session is emitted as a JSON array (BENCH_engine.json):
@@ -20,7 +28,7 @@
 //
 // Flags:  --ranks=8,16     NAS rank subset (default 8,16,32,64)
 //         --out=PATH       JSON output path (default BENCH_engine.json)
-//         --skip-storm / --skip-nas
+//         --skip-storm / --skip-spawn / --skip-nas
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -107,6 +115,45 @@ Row run_storm() {
   return r;
 }
 
+Row run_spawn() {
+  // 64 waves of 1024 actors: each actor does one sleep (forcing a real
+  // schedule + fiber switch round trip) and exits; the wave is then run to
+  // completion and reaped. Peak concurrency is one wave, so the stack pool's
+  // high-water mark stays at 1024 while 65536 actors pass through it —
+  // steady-state spawn cost is a free-list pop, not an mmap.
+  constexpr int kWaves = 64;
+  constexpr int kActorsPerWave = 1024;
+  sim::Engine eng;
+  std::size_t done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int w = 0; w < kWaves; ++w) {
+    for (int i = 0; i < kActorsPerWave; ++i) {
+      eng.spawn("spawn." + std::to_string(w) + "." + std::to_string(i), [&done](sim::Actor& self) {
+        self.sleep_for(1e-9);
+        ++done;
+      });
+    }
+    eng.run();
+    eng.reap_finished();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row r;
+  r.bench = "spawn";
+  r.events = 2 * done;  // created + destroyed
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  r.rss_mb = peak_rss_mb();
+  if (done != static_cast<std::size_t>(kWaves) * kActorsPerWave) {
+    std::fprintf(stderr, "WARNING: spawn bench lost actors (%zu)\n", done);
+  }
+  if (eng.fiber_stacks_allocated() > kActorsPerWave) {
+    std::fprintf(stderr, "WARNING: stack pool failed to reuse (allocated %llu > wave size)\n",
+                 static_cast<unsigned long long>(eng.fiber_stacks_allocated()));
+  }
+  return r;
+}
+
 Row run_nas(int ranks) {
   mpi::ClusterConfig cfg;
   cfg.nodes = 10;  // the fig8 Grid'5000 testbed
@@ -155,7 +202,7 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
 int main(int argc, char** argv) {
   std::vector<int> ranks{8, 16, 32, 64};
   std::string out_path = "BENCH_engine.json";
-  bool do_storm = true, do_nas = true;
+  bool do_storm = true, do_spawn = true, do_nas = true;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--ranks=", 0) == 0) {
@@ -170,6 +217,8 @@ int main(int argc, char** argv) {
       out_path = a.substr(6);
     } else if (a == "--skip-storm") {
       do_storm = false;
+    } else if (a == "--skip-spawn") {
+      do_spawn = false;
     } else if (a == "--skip-nas") {
       do_nas = false;
     } else {
@@ -187,6 +236,7 @@ int main(int argc, char** argv) {
 
   std::printf("== perf_engine: wall-clock engine throughput ==\n");
   if (do_storm) report(run_storm());
+  if (do_spawn) report(run_spawn());
   if (do_nas) {
     for (int n : ranks) report(run_nas(n));
   }

@@ -110,6 +110,10 @@ Cluster::~Cluster() = default;
 void Cluster::run_threads(int threads, std::function<void(Comm&, int thread)> body) {
   NMX_ASSERT(threads > 0);
   ++runs_;
+  // Rank actors from a previous run() are all finished; drop their records
+  // so repeated runs on one cluster pool per-rank state instead of growing
+  // the actor table (their fiber stacks were already recycled on exit).
+  eng_.reap_finished();
   const net::Topology& t = fabric_->topology();
   for (int p = 0; p < cfg_.procs; ++p) {
     int locals = 0;
@@ -131,6 +135,7 @@ void Cluster::run_threads(int threads, std::function<void(Comm&, int thread)> bo
 
 void Cluster::run(std::function<void(Comm&)> body) {
   ++runs_;
+  eng_.reap_finished();  // see run_threads: pool per-rank state across runs
   const net::Topology& t = fabric_->topology();
   for (int p = 0; p < cfg_.procs; ++p) {
     int locals = 0;

@@ -7,28 +7,30 @@ namespace nmx::sim {
 // ---------------------------------------------------------------------------
 // Actor
 // ---------------------------------------------------------------------------
+//
+// An actor is a stackful fiber (sim/fiber.hpp). The fiber is forged lazily:
+// spawn() only records the body and schedules a kResumeSpawn event; the
+// stack is acquired from the pool at the first resume, and returned the
+// moment the body finishes. The switch topology is a star — the engine's
+// main context resumes exactly one fiber, and that fiber always yields
+// straight back — which is precisely the old one-baton thread handshake
+// with the mutex/condvar replaced by a register swap.
 
 Actor::Actor(Engine& eng, std::string name, std::function<void(Actor&)> body)
-    : engine_(eng), name_(std::move(name)) {
-  thread_ = std::thread([this, body = std::move(body)]() mutable { thread_main(std::move(body)); });
-}
+    : engine_(eng), name_(std::move(name)), body_(std::move(body)) {}
 
 Actor::~Actor() { request_stop(); }
 
-void Actor::thread_main(std::function<void(Actor&)> body) {
-  // Wait for the first token before touching any simulation state.
-  {
-    std::unique_lock lk(m_);
-    cv_.wait(lk, [&] { return token_ || stop_; });
-    if (stop_) {
-      returned_ = true;
-      cv_.notify_all();
-      return;
-    }
-    token_ = false;
-  }
+void Actor::fiber_entry(void* self) { static_cast<Actor*>(self)->fiber_main(); }
+
+void Actor::fiber_main() {
+  fiber_on_entry(ctx_, engine_.main_ctx_);
   state_ = State::Running;
   try {
+    // Consume the body up front so its captures (Cluster pointers, per-rank
+    // locals) die with this frame, not with the Actor record.
+    auto body = std::move(body_);
+    body_ = nullptr;
     body(*this);
   } catch (StopToken&) {
     // engine teardown: fall through and exit quietly
@@ -36,43 +38,30 @@ void Actor::thread_main(std::function<void(Actor&)> body) {
     error_ = std::current_exception();
   }
   state_ = State::Finished;
-  std::unique_lock lk(m_);
-  returned_ = true;
-  cv_.notify_all();
+  // Hand the baton back for the last time; the engine context reclaims the
+  // stack as soon as this switch lands (nothing on it is live anymore).
+  fiber_exit_switch(ctx_, engine_.main_ctx_);
 }
 
 void Actor::yield_to_engine() {
-  std::unique_lock lk(m_);
-  returned_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return token_ || stop_; });
+  fiber_switch(ctx_, engine_.main_ctx_);
   if (stop_) throw StopToken{};
-  token_ = false;
-}
-
-void Actor::grant_token() {
-  {
-    std::unique_lock lk(m_);
-    token_ = true;
-    returned_ = false;
-    cv_.notify_all();
-    cv_.wait(lk, [&] { return returned_; });
-  }
-  if (error_) {
-    auto e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
-  }
 }
 
 void Actor::request_stop() {
-  {
-    std::unique_lock lk(m_);
-    if (!thread_.joinable()) return;
-    stop_ = true;
-    cv_.notify_all();
+  if (state_ == State::Finished) return;
+  if (!started_) {
+    // Never ran: nothing on a stack to unwind, just drop the body.
+    body_ = nullptr;
+    state_ = State::Finished;
+    return;
   }
-  thread_.join();
+  // Resume the fiber one last time; yield_to_engine sees stop_ and throws
+  // StopToken, unwinding the body. fiber_main lands back here Finished.
+  stop_ = true;
+  fiber_switch(engine_.main_ctx_, ctx_);
+  NMX_ASSERT_MSG(state_ == State::Finished, "stopped actor did not unwind");
+  engine_.release_fiber(*this);
   // The StopToken unwound the actor out of a possibly-pending block_until —
   // the `timer_ = 0` line there never ran. Tombstone-cancel the orphaned
   // timeout event so teardown mid-run (an exception escaping another actor,
@@ -84,7 +73,7 @@ void Actor::request_stop() {
 }
 
 void Actor::sleep_until(Time t) {
-  NMX_ASSERT_MSG(state_ == State::Running, "sleep_until outside the actor's own thread");
+  NMX_ASSERT_MSG(state_ == State::Running, "sleep_until outside the actor's own fiber");
   state_ = State::Blocked;
   interruptible_ = false;
   woken_ = false;
@@ -97,7 +86,7 @@ void Actor::sleep_until(Time t) {
 void Actor::sleep_for(Time dt) { sleep_until(engine_.now() + dt); }
 
 void Actor::block() {
-  NMX_ASSERT_MSG(state_ == State::Running, "block outside the actor's own thread");
+  NMX_ASSERT_MSG(state_ == State::Running, "block outside the actor's own fiber");
   state_ = State::Blocked;
   interruptible_ = true;
   woken_ = false;
@@ -108,7 +97,7 @@ void Actor::block() {
 }
 
 bool Actor::block_until(Time deadline) {
-  NMX_ASSERT_MSG(state_ == State::Running, "block_until outside the actor's own thread");
+  NMX_ASSERT_MSG(state_ == State::Running, "block_until outside the actor's own fiber");
   state_ = State::Blocked;
   interruptible_ = true;
   woken_ = false;
@@ -134,6 +123,9 @@ void Actor::wake() {
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
+
+Engine::Engine(const EngineConfig& cfg)
+    : stacks_(resolve_fiber_stack_bytes(cfg.fiber_stack_kb)) {}
 
 Engine::~Engine() {
   // Stop actors before destroying the event storage they may reference.
@@ -379,9 +371,38 @@ Actor& Engine::spawn(std::string name, std::function<void(Actor&)> body) {
 
 void Engine::resume(Actor& a) {
   NMX_ASSERT_MSG(current_ == nullptr, "nested actor resume");
+  if (!a.started_) {
+    // First resume: forge the fiber on a pooled stack. Acquisition order
+    // follows resume order, which is event order — deterministic.
+    a.stack_ = stacks_.acquire();
+    fiber_make(a.ctx_, a.stack_, &Actor::fiber_entry, &a, a.name_.c_str());
+    a.started_ = true;
+  }
   current_ = &a;
-  a.grant_token();  // may rethrow an actor-body exception
+  fiber_switch(main_ctx_, a.ctx_);
   current_ = nullptr;
+  if (a.finished()) {
+    release_fiber(a);
+    if (a.error_) {
+      auto e = a.error_;
+      a.error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void Engine::release_fiber(Actor& a) {
+  if (!a.stack_) return;
+  fiber_release(a.ctx_, a.stack_);
+  stacks_.release(a.stack_);
+  a.stack_ = FiberStack{};
+}
+
+std::size_t Engine::reap_finished() {
+  NMX_ASSERT_MSG(current_ == nullptr, "reap_finished from inside an actor");
+  const std::size_t before = actors_.size();
+  std::erase_if(actors_, [](const std::unique_ptr<Actor>& a) { return a->finished(); });
+  return before - actors_.size();
 }
 
 void Engine::run() {

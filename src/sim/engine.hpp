@@ -1,14 +1,20 @@
 // Discrete-event simulation core.
 //
 // Execution model (the SMPI/SimGrid methodology): simulated processes (MPI
-// ranks, PIOMan progress engines, ...) run as *actors* — real std::threads
-// that hold the "baton" one at a time. The engine thread pops timestamped
-// events off its queues; an event is either a plain callback (protocol
-// handlers: packet arrival, NIC completion, ...) or the resumption of a
-// blocked actor. While an actor runs, the engine thread waits; while the
-// engine runs, every actor waits. The whole simulation therefore has
-// single-threaded semantics — stack code needs no locking — yet application
-// code (NAS kernels, examples) is written in natural blocking style.
+// ranks, PIOMan progress engines, ...) run as *actors* — stackful fibers
+// that hold the "baton" one at a time. The engine pops timestamped events
+// off its queues; an event is either a plain callback (protocol handlers:
+// packet arrival, NIC completion, ...) or the resumption of a blocked
+// actor, which is a direct user-space context switch into the actor's
+// fiber. While an actor runs, the engine context is suspended; when the
+// actor blocks or sleeps it switches straight back. Exactly one context is
+// ever runnable, so the whole simulation has single-threaded semantics —
+// stack code needs no locking — yet application code (NAS kernels,
+// examples) is written in natural blocking style. Compared with the
+// original thread-per-actor design, a baton handoff is ~tens of ns instead
+// of a mutex+condvar round trip, and an actor costs a pooled, lazily
+// committed fiber stack (sim/fiber.hpp) instead of an 8 MiB thread stack —
+// which is what lets NAS runs scale to 1024 ranks.
 //
 // Virtual time only advances in the engine loop. Determinism is total:
 // same inputs => same event order => identical timing results.
@@ -41,19 +47,17 @@
 //    per-cancel O(n) erase or grow the heap without bound.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "sim/fiber.hpp"
 #include "sim/smallfn.hpp"
 
 namespace nmx::obs {
@@ -77,8 +81,19 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Engine construction knobs. Default-constructed gives the standard setup.
+struct EngineConfig {
+  /// Per-actor fiber stack size in KiB. 0 means: use the NMX_FIBER_STACK_KB
+  /// environment variable if set, else the built-in default (256 KiB; 1 MiB
+  /// under ASan/TSan). The environment variable, when set, wins over this
+  /// field too — it is the operator's override of last resort. Every stack
+  /// ends in a guard page, so an overflowing actor faults loudly instead of
+  /// corrupting its neighbor.
+  std::size_t fiber_stack_kb = 0;
+};
+
 /// A simulated thread of execution. Created via Engine::spawn; the body runs
-/// on a dedicated OS thread but only while the actor holds the baton.
+/// on a stackful fiber that executes only while the actor holds the baton.
 class Actor {
  public:
   Actor(const Actor&) = delete;
@@ -88,7 +103,7 @@ class Actor {
   const std::string& name() const { return name_; }
   Engine& engine() { return engine_; }
 
-  // --- callable from the actor's own thread only -------------------------
+  // --- callable from the actor's own fiber only --------------------------
 
   /// Advance this actor's virtual time to `t` (models computation / sleep).
   /// Not interruptible by wake().
@@ -122,14 +137,14 @@ class Actor {
  private:
   friend class Engine;
   enum class State { Ready, Running, Blocked, Finished };
-  struct StopToken {};  // thrown into the actor thread on engine teardown
+  struct StopToken {};  // thrown into the actor fiber on engine teardown
 
   Actor(Engine& eng, std::string name, std::function<void(Actor&)> body);
 
-  void thread_main(std::function<void(Actor&)> body);
-  void yield_to_engine();  // actor thread: return baton, wait for next token
-  void grant_token();      // engine thread: hand baton over, wait for return
-  void request_stop();     // engine thread: unblock + join for shutdown
+  static void fiber_entry(void* self);  // trampoline target
+  void fiber_main();                    // runs body_ on the fiber stack
+  void yield_to_engine();  // actor fiber: return baton to the engine loop
+  void request_stop();     // engine context: unwind the fiber for shutdown
 
   Engine& engine_;
   std::string name_;
@@ -139,19 +154,19 @@ class Actor {
   bool interruptible_ = false;    // wake() honored only while true
   EventId timer_ = 0;             // pending block_until timeout event
 
-  std::mutex m_;
-  std::condition_variable cv_;
-  bool token_ = false;     // actor may run
-  bool returned_ = true;   // actor has yielded the baton back
-  bool stop_ = false;
+  std::function<void(Actor&)> body_;  // consumed at the first resume
+  bool started_ = false;              // fiber forged and entered at least once
+  bool stop_ = false;                 // next yield return throws StopToken
   std::exception_ptr error_;
-  std::thread thread_;
+  FiberStack stack_;  // pooled; held only while started and not finished
+  FiberContext ctx_;
 };
 
 /// The event-driven heart of the simulator.
 class Engine {
  public:
-  Engine() = default;
+  Engine() : Engine(EngineConfig{}) {}
+  explicit Engine(const EngineConfig& cfg);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -224,6 +239,15 @@ class Engine {
   /// escaped an actor body or event callback.
   void run();
 
+  /// Destroy actors whose bodies have completed, returning how many were
+  /// reclaimed. Their fiber stacks are already back in the pool the moment
+  /// they finished; this drops the Actor records themselves so repeated
+  /// spawn/run cycles (Cluster::run per-iteration ranks, spawn benchmarks)
+  /// keep per-rank state pooled instead of accumulating. Call it between
+  /// runs — after run() returns, no pending event can reference a finished
+  /// actor; mid-run the engine itself never needs it.
+  std::size_t reap_finished();
+
   std::size_t events_processed() const { return processed_; }
 
   // --- pool accounting (stress tests + perf harness assert on these) ------
@@ -241,6 +265,19 @@ class Engine {
   std::size_t tombstones() const { return tombstones_; }
   /// Deferred heap compaction passes performed.
   std::uint64_t heap_compactions() const { return heap_compactions_; }
+
+  // --- fiber accounting ----------------------------------------------------
+
+  /// Usable bytes of one actor fiber stack (resolved from EngineConfig /
+  /// NMX_FIBER_STACK_KB at construction; page-rounded).
+  std::size_t fiber_stack_bytes() const { return stacks_.stack_bytes(); }
+  /// Fiber stacks ever mmap'd — the high-water mark of concurrently live
+  /// actors, not the spawn count (freed stacks are reused).
+  std::uint64_t fiber_stacks_allocated() const { return stacks_.allocated(); }
+  /// Times a freed stack was handed to a new actor instead of mmap'ing.
+  std::uint64_t fiber_stack_reuses() const { return stacks_.reuses(); }
+  /// Stacks currently owned by live (started, unfinished) actors.
+  std::size_t fiber_stacks_in_use() const { return stacks_.in_use(); }
 
   /// Attach an observability recorder (obs/recorder.hpp). Null disables all
   /// instrumentation; the pointer is not owned and must outlive the
@@ -324,6 +361,8 @@ class Engine {
   /// Closure-free actor-resume scheduling (Actor wake/sleep/timeout/spawn).
   EventId schedule_resume(Time t, Actor* a, std::uint64_t actor_gen, std::uint8_t mode);
   void resume(Actor& a);
+  /// Return a finished (or unwound) actor's stack to the pool.
+  void release_fiber(Actor& a);
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
@@ -346,6 +385,9 @@ class Engine {
   std::vector<std::unique_ptr<Actor>> actors_;
   Actor* current_ = nullptr;
   obs::Recorder* recorder_ = nullptr;
+
+  FiberContext main_ctx_;  ///< the engine loop's own context while a fiber runs
+  StackPool stacks_;       ///< pooled actor stacks (guard-paged, reused)
 };
 
 }  // namespace nmx::sim

@@ -2,11 +2,16 @@
 // sequences are replayed against a naive reference queue (a multimap ordered
 // by (t, seq)) and must execute in exactly the reference order; the pool
 // accounting must balance (no leaked slots, no tombstone residue, zero heap
-// allocations for small closures); and actor spawn/teardown must stay sound
-// at 64 ranks, including the deadlock detector naming every stuck actor.
+// allocations for small closures); and the fiber actor runtime must stay
+// sound at 1024 ranks — spawn/teardown waves reuse pooled stacks, blocked
+// actors unwind cleanly on destruction, an overflowing actor hits its guard
+// page instead of a neighbor, and the deadlock detector names every stuck
+// actor.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -189,10 +194,11 @@ TEST(EngineStress, StaleIdsAfterSlotReuseAreNoOps) {
 }
 
 // ---------------------------------------------------------------------------
-// 64-rank spawn/teardown and the deadlock detector at scale
+// Spawn/teardown and the deadlock detector at scale
 // ---------------------------------------------------------------------------
 
-constexpr int kRanks = 64;
+constexpr int kRanks = 64;        // mixed-traffic soak: every blocking shape
+constexpr int kManyRanks = 1024;  // fiber-wall scale: thread actors capped out here
 
 TEST(EngineAtScale, SixtyFourActorsSpawnRunAndTearDownCleanly) {
   Engine eng;
@@ -231,13 +237,13 @@ TEST(EngineAtScale, DeadlockDetectorNamesAllSixtyFourStuckActors) {
   }
 }
 
-TEST(EngineAtScale, DestructionWithBlockedActorsDoesNotHang) {
+TEST(EngineAtScale, DestructionWith1024BlockedActorsDoesNotHang) {
   auto eng = std::make_unique<Engine>();
-  for (int r = 0; r < kRanks; ++r) {
+  for (int r = 0; r < kManyRanks; ++r) {
     eng->spawn("held" + std::to_string(r), [](sim::Actor& self) { self.block(); });
   }
   EXPECT_THROW(eng->run(), sim::DeadlockError);
-  eng.reset();  // must unblock + join all 64 threads without running them
+  eng.reset();  // must unwind all 1024 parked fibers without hanging
 }
 
 TEST(EngineAtScale, TeardownWithPendingBlockUntilTimersIsClean) {
@@ -250,7 +256,7 @@ TEST(EngineAtScale, TeardownWithPendingBlockUntilTimersIsClean) {
   // destroyed actors in the pool during queue destruction (caught by the
   // sanitizer jobs).
   auto eng = std::make_unique<Engine>();
-  for (int r = 0; r < kRanks; ++r) {
+  for (int r = 0; r < kManyRanks; ++r) {
     eng->spawn("timed" + std::to_string(r), [](sim::Actor& self) {
       self.block_until(self.engine().now() + 1e9);  // never woken, never due
     });
@@ -258,6 +264,98 @@ TEST(EngineAtScale, TeardownWithPendingBlockUntilTimersIsClean) {
   eng->spawn("bomb", [](sim::Actor&) { throw std::runtime_error("abort the run"); });
   EXPECT_THROW(eng->run(), std::runtime_error);
   eng.reset();
+}
+
+TEST(EngineAtScale, ThousandActorWavesReusePooledStacks) {
+  Engine eng;
+  int done = 0;
+  auto wave = [&](int w) {
+    for (int r = 0; r < kManyRanks; ++r) {
+      eng.spawn("wave" + std::to_string(w) + ".r" + std::to_string(r),
+                [&done](sim::Actor& self) {
+                  self.sleep_for(1e-9);  // forces a real park + fiber re-entry
+                  ++done;
+                });
+    }
+    eng.run();
+  };
+
+  wave(0);
+  EXPECT_EQ(done, kManyRanks);
+  // All 1024 actors were live at once (they all start before the first sleep
+  // expires), then every stack went back to the pool as its actor finished.
+  EXPECT_EQ(eng.fiber_stacks_in_use(), 0u);
+  const auto mapped = eng.fiber_stacks_allocated();
+  EXPECT_EQ(mapped, static_cast<std::uint64_t>(kManyRanks));
+  EXPECT_EQ(eng.reap_finished(), static_cast<std::size_t>(kManyRanks));
+
+  wave(1);
+  EXPECT_EQ(done, 2 * kManyRanks);
+  // The second wave must ride entirely on recycled stacks: the pool's mmap
+  // count is the live-actor high-water mark, not the spawn count.
+  EXPECT_EQ(eng.fiber_stacks_allocated(), mapped) << "stack pool failed to reuse freed stacks";
+  EXPECT_GE(eng.fiber_stack_reuses(), static_cast<std::uint64_t>(kManyRanks));
+  EXPECT_EQ(eng.fiber_stacks_in_use(), 0u);
+  EXPECT_EQ(eng.reap_finished(), static_cast<std::size_t>(kManyRanks));
+  EXPECT_EQ(eng.live_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fiber stack sizing and the guard page
+// ---------------------------------------------------------------------------
+
+TEST(FiberStackConfig, ConfigEnvOverrideAndFloorResolveAsDocumented) {
+  ::unsetenv("NMX_FIBER_STACK_KB");
+  {
+    sim::EngineConfig cfg;
+    cfg.fiber_stack_kb = 128;
+    Engine eng(cfg);
+    EXPECT_EQ(eng.fiber_stack_bytes(), 128u * 1024u);
+  }
+  {
+    ::setenv("NMX_FIBER_STACK_KB", "512", 1);
+    sim::EngineConfig cfg;
+    cfg.fiber_stack_kb = 128;
+    Engine eng(cfg);  // the operator's env override outranks the config
+    EXPECT_EQ(eng.fiber_stack_bytes(), 512u * 1024u);
+  }
+  {
+    ::setenv("NMX_FIBER_STACK_KB", "1", 1);  // below the 64 KiB floor
+    Engine eng;
+    EXPECT_EQ(eng.fiber_stack_bytes(), 64u * 1024u);
+  }
+  ::unsetenv("NMX_FIBER_STACK_KB");
+}
+
+namespace overflow {
+
+// Deep enough to blow any configured stack; the volatile pad defeats both
+// inlining of the frame and tail-call collapse.
+[[gnu::noinline]] int recurse(int n) {
+  volatile char pad[1024];
+  pad[0] = static_cast<char>(n);
+  if (n <= 0) return pad[0];
+  return recurse(n - 1) + pad[0];
+}
+
+}  // namespace overflow
+
+TEST(FiberStackGuardDeathTest, OverflowFaultsLoudlyInsteadOfCorruptingANeighbor) {
+  // The guard page under each fiber stack turns overflow into an immediate
+  // fault. Without it, the runaway frames would scribble into whatever
+  // mapping sits below the stack — typically another actor's pooled stack —
+  // and the simulation would continue on corrupted state.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ::unsetenv("NMX_FIBER_STACK_KB");
+  sim::EngineConfig cfg;
+  cfg.fiber_stack_kb = 64;
+  EXPECT_DEATH(
+      {
+        Engine eng(cfg);
+        eng.spawn("overflow", [](sim::Actor&) { overflow::recurse(1 << 20); });
+        eng.run();
+      },
+      "");
 }
 
 }  // namespace

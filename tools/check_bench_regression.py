@@ -9,7 +9,13 @@ Engine-throughput gate (positional args). Fails (exit 1) when:
   * a baseline series is missing from the current run. A silently dropped
     bench is exactly how a perf gate rots: the run "passes" while measuring
     less and less. Removing a bench on purpose means updating the baseline
-    in the same change.
+    in the same change, or
+  * an --rss-sublinear gate is violated: with BENCH:R1:R2:MAXRATIO, peak
+    RSS of BENCH at R2 ranks must stay below MAXRATIO x its RSS at R1
+    ranks. With the fiber runtime, per-rank memory is a pooled lazily
+    committed stack, so an 8x rank scale-up must cost well under 8x the
+    memory — linear growth means thread-stack-style per-rank overhead
+    crept back in.
 
 Critical-path composition gate (--report / --report-baseline). The
 simulation is deterministic, so a report.json produced by a bench is stable
@@ -30,6 +36,7 @@ one does not require touching CI in the same commit.
 
 Usage: check_bench_regression.py [<current.json> <baseline.json>]
            [--max-loss=0.25] [--max-rss-gain=0.5]
+           [--rss-sublinear=BENCH:R1:R2:MAXRATIO]   (repeatable)
            [--report=R.report.json --report-baseline=BASE.report.json]
            [--max-wire-drift=0.05] [--max-model-error=0.02]
 """
@@ -78,6 +85,35 @@ def check_engine(cur_path, base_path, max_loss, max_rss_gain):
                 print(f"  {name}: rss {cur_rss:.1f}MB vs baseline "
                       f"{base_rss:.1f}MB ({gain:+.1%}) "
                       f"FAIL (>{max_rss_gain:.0%} memory growth)")
+    return failed
+
+
+def check_rss_sublinear(cur_path, gates):
+    """Each gate is (bench, low_ranks, high_ranks, max_ratio)."""
+    current = load(cur_path)
+    failed = False
+    for bench, lo, hi, max_ratio in gates:
+        lo_row = current.get((bench, lo))
+        hi_row = current.get((bench, hi))
+        if lo_row is None or hi_row is None:
+            missing = lo if lo_row is None else hi
+            print(f"  {bench} rss-sublinear: FAIL — no {bench}@{missing}ranks "
+                  "series in this run (the gate needs both endpoints)")
+            failed = True
+            continue
+        lo_rss, hi_rss = lo_row["rss_mb"], hi_row["rss_mb"]
+        if not lo_rss or not hi_rss:
+            print(f"  {bench} rss-sublinear: SKIP — no rss_mb recorded")
+            continue
+        ratio = hi_rss / lo_rss
+        rank_ratio = hi / lo
+        verdict = "OK"
+        if ratio > max_ratio:
+            verdict = f"FAIL (> {max_ratio:g}x allowed)"
+            failed = True
+        print(f"  {bench} rss: {lo_rss:.1f}MB@{lo}ranks -> "
+              f"{hi_rss:.1f}MB@{hi}ranks = {ratio:.2f}x for a "
+              f"{rank_ratio:g}x rank scale-up {verdict}")
     return failed
 
 
@@ -134,6 +170,7 @@ def main(argv):
     positional = []
     max_loss = 0.25
     max_rss_gain = 0.5
+    rss_sublinear = []
     report = None
     report_baseline = None
     max_wire_drift = 0.05
@@ -143,6 +180,14 @@ def main(argv):
             max_loss = float(a.split("=", 1)[1])
         elif a.startswith("--max-rss-gain="):
             max_rss_gain = float(a.split("=", 1)[1])
+        elif a.startswith("--rss-sublinear="):
+            parts = a.split("=", 1)[1].split(":")
+            if len(parts) != 4:
+                print(f"bad --rss-sublinear spec: {a}")
+                print(__doc__)
+                return 2
+            rss_sublinear.append((parts[0], int(parts[1]), int(parts[2]),
+                                  float(parts[3])))
         elif a.startswith("--report="):
             report = a.split("=", 1)[1]
         elif a.startswith("--report-baseline="):
@@ -168,6 +213,8 @@ def main(argv):
     if positional:
         failed |= check_engine(positional[0], positional[1], max_loss,
                                max_rss_gain)
+        if rss_sublinear:
+            failed |= check_rss_sublinear(positional[0], rss_sublinear)
     if report is not None:
         failed |= check_report(report, report_baseline, max_wire_drift,
                                max_model_error)

@@ -4,6 +4,7 @@
 // `nmx-lint: <context>` comments on the declarations.
 #include <functional>
 #include <string>
+#include <thread>
 
 namespace fixture_thr_flag {
 
@@ -45,6 +46,26 @@ inline void callback_blocks(Engine& eng, Actor& actor) {
   eng.schedule_in_checked(1.0, [&actor] {
     actor.block_until(2.0);  // EXPECT: thread-discipline
   });
+}
+
+struct FiberContext {};
+// Mock of the sim/fiber.hpp primitive; the declaration itself is annotated
+// because only the engine's own files are path-exempt.
+// nmx-lint: allow(thread-discipline) mock declaration, not a context switch
+void fiber_switch(FiberContext&, FiberContext&);
+
+/// Simulated code spinning up a real OS thread: the fiber runtime's whole
+/// correctness argument is "one context runs at a time"; a kernel thread
+/// races the engine no matter how careful the body is.
+inline void progress_helper_thread(Engine& eng) {
+  std::thread helper([&eng] { (void)eng; });  // EXPECT: thread-discipline
+  helper.join();
+}
+
+/// Hand-rolled baton passing: grabbing the switch primitive bypasses the
+/// event queue's (t, seq) total order.
+inline void sneaky_handoff(FiberContext& mine, FiberContext& engine_ctx) {
+  fiber_switch(mine, engine_ctx);  // EXPECT: thread-discipline
 }
 
 }  // namespace fixture_thr_flag

@@ -10,6 +10,7 @@ exists.
 from __future__ import annotations
 
 import dataclasses
+import os
 import re
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -414,6 +415,26 @@ def check_engine_capacity(files: List[SourceFile], ctx: Context) -> List[Finding
 # check 4: thread discipline
 # ---------------------------------------------------------------------------
 
+# Since the fiber runtime, an Actor is a stackful fiber multiplexed onto the
+# engine's one thread — OS threads are not the concurrency primitive anywhere
+# in the simulated layers. Raw std::thread construction outside the engine
+# itself reintroduces real parallelism into code whose correctness argument
+# is "exactly one context runs at a time", so it is banned; the engine/fiber
+# translation units are the single sanctioned home for context machinery.
+_ENGINE_INTERNAL_BASENAMES = ("engine.hpp", "engine.cpp", "fiber.hpp", "fiber.cpp")
+_THREAD_CTOR_RE = re.compile(r"\bstd\s*::\s*j?thread\b")
+
+# The raw context-switch primitives (sim/fiber.hpp) are engine internals:
+# calling one from protocol or application code would hand the baton around
+# behind the scheduler's back, breaking the (t, seq) total order and every
+# invariant the markers encode. The context resolver knows them by name so
+# they are policed even though they are free functions, not marked members.
+_FIBER_PRIMITIVES = ("fiber_make", "fiber_switch", "fiber_exit_switch",
+                     "fiber_on_entry", "fiber_release", "nmx_fiber_swap")
+_FIBER_CALL_RE = re.compile(
+    r"(?<![\w.>])(" + "|".join(_FIBER_PRIMITIVES) + r")\s*\(")
+
+
 def _regions(sf: SourceFile, fn_names: List[str]) -> List[Tuple[int, int]]:
     """Body extents of lambdas passed to any of fn_names."""
     out: List[Tuple[int, int]] = []
@@ -427,6 +448,28 @@ def _regions(sf: SourceFile, fn_names: List[str]) -> List[Tuple[int, int]]:
 
 def check_thread_discipline(files: List[SourceFile], ctx: Context) -> List[Finding]:
     out: List[Finding] = []
+    for sf in files:
+        if os.path.basename(sf.path) not in _ENGINE_INTERNAL_BASENAMES:
+            for m in _THREAD_CTOR_RE.finditer(sf.code):
+                line = sf.line_of(m.start())
+                if sf.suppressed(line, "thread-discipline"):
+                    continue
+                out.append(Finding(
+                    "thread-discipline", sf.path, line,
+                    "raw std::thread in simulated code: actors are fibers "
+                    "scheduled by the engine — use Engine::spawn(), or "
+                    "annotate `nmx-lint: allow(thread-discipline) <why a "
+                    "real thread cannot race the simulation>`"))
+            for m in _FIBER_CALL_RE.finditer(sf.code):
+                line = sf.line_of(m.start())
+                if sf.suppressed(line, "thread-discipline"):
+                    continue
+                out.append(Finding(
+                    "thread-discipline", sf.path, line,
+                    f"{m.group(1)}() is a raw fiber-switch primitive "
+                    "(engine internal): switching contexts outside the "
+                    "engine bypasses the event queue's (t, seq) order — "
+                    "block/wake through the Actor API instead"))
     if not ctx.engine_context_fns and not ctx.actor_context_fns:
         return out
     for sf in files:
