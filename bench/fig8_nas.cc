@@ -105,22 +105,37 @@ void run_proc_count(int procs, nas::NasClass cls, double fraction) {
   std::cout << "\n";
 }
 
-// Critical-path report: trace CG and FT on the paper's stack at 32 procs,
-// extract the per-iteration critical path and the rail latency tolerance,
-// and leave fig8_nas.report.json behind for the CI composition gate.
+// Critical-path report: trace CG and FT on the paper's stack at 32 procs —
+// plus FT's engine-routed transpose all-to-all at 128 and 512 ranks (class B
+// there, to bound the full send+recv slice footprint) — extract the
+// per-iteration critical path, the rail latency tolerance and the
+// collective-phase tiling, and leave fig8_nas.report.json behind for the CI
+// composition gate.
 void emit_report(nas::NasClass cls, double fraction) {
+  struct Leg {
+    const char* kernel;
+    int procs;
+    nas::NasClass cls;
+  };
+  const Leg legs[] = {
+      {"CG", 32, cls},
+      {"FT", 32, cls},
+      {"FT", 128, nas::NasClass::B},
+      {"FT", 512, nas::NasClass::B},
+  };
   obs::Report rep;
   rep.bench = "fig8_nas";
-  for (const char* kernel : {"CG", "FT"}) {
-    mpi::ClusterConfig cfg = testbed(mpi::StackKind::Mpich2Nmad, false, 32);
+  for (const Leg& leg : legs) {
+    mpi::ClusterConfig cfg = testbed(mpi::StackKind::Mpich2Nmad, false, leg.procs);
     cfg.trace = true;
     mpi::Cluster cluster(cfg);
     nas::NasConfig nc;
-    nc.cls = cls;
+    nc.cls = leg.cls;
     nc.iter_fraction = fraction;
-    nas::run_nas(cluster, kernel, nc);
-    rep.runs.push_back(
-        harness::analyze_cluster(cluster, std::string(kernel) + "/32procs/MPICH2-NMad"));
+    nas::run_nas(cluster, leg.kernel, nc);
+    rep.runs.push_back(harness::analyze_cluster(
+        cluster,
+        std::string(leg.kernel) + "/" + std::to_string(leg.procs) + "procs/MPICH2-NMad"));
   }
   harness::write_report_sidecar(rep, "fig8_nas");
   std::cout << "\n";

@@ -22,6 +22,7 @@ std::string to_string(StackKind k) {
 Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   NMX_ASSERT(cfg_.nodes > 0 && cfg_.procs > 0);
   NMX_ASSERT(!cfg_.rails.empty());
+  cfg_.coll.apply_env();  // NMX_COLL_* overrides the programmatic selection
   if (cfg_.trace) {
     tracer_ = std::make_unique<sim::Tracer>();
     eng_.set_recorder(&tracer_->recorder());
@@ -126,6 +127,7 @@ void Cluster::run_threads(int threads, std::function<void(Comm&, int thread)> bo
                  [this, p, th, locals, body](sim::Actor& self) {
                    Comm comm(self, *transports_[static_cast<std::size_t>(p)], eng_, p,
                              cfg_.procs, locals);
+                   comm.set_coll_config(cfg_.coll);
                    body(comm, th);
                  });
     }
@@ -146,6 +148,7 @@ void Cluster::run(std::function<void(Comm&)> body) {
                [this, p, locals, body](sim::Actor& self) {
                  Comm comm(self, *transports_[static_cast<std::size_t>(p)], eng_, p, cfg_.procs,
                            locals);
+                 comm.set_coll_config(cfg_.coll);
                  body(comm);
                });
   }

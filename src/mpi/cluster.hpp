@@ -56,6 +56,10 @@ struct ClusterConfig {
   /// pin interfering traffic to one rail of a multirail node.
   std::map<int, std::vector<int>> rank_rails;
 
+  /// Collective algorithm selection (src/coll). NMX_COLL_* environment
+  /// variables override these at Cluster construction.
+  coll::Config coll;
+
   // baseline knobs
   bool mvapich_rcache = true;
   double ompi_dilation = 1.09;

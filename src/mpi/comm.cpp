@@ -45,6 +45,7 @@ Comm Comm::split(int color, int key) {
   });
 
   Comm sub(actor_, tx_, eng_, 0, static_cast<int>(members.size()), local_ranks_);
+  sub.coll_ = coll_;
   sub.group_.clear();
   for (std::size_t i = 0; i < members.size(); ++i) {
     const int world = global(members[i].parent_rank);
@@ -109,33 +110,11 @@ int Comm::waitany(std::span<Request> reqs, Status* st) {
 void Comm::barrier() {
   trace(obs::Cat::MpiColl, 0, 0);
   if (obs::Recorder* r = rec()) r->metrics().counter("mpi.coll.count").add(1);
-  // Dissemination barrier: ceil(log2 P) rounds.
-  constexpr int kTag = 1000;
-  int round = 0;
-  for (int k = 1; k < size_; k <<= 1, ++round) {
-    const int dst = (rank_ + k) % size_;
-    const int src = (rank_ - k + size_) % size_;
-    csendrecv(nullptr, 0, dst, kTag + round, nullptr, 0, src, kTag + round);
-  }
+  coll::Engine::barrier(*this, coll_);
 }
 
 void Comm::bcast(void* buf, std::size_t len, int root) {
-  // Binomial tree rooted at `root`.
-  constexpr int kTag = 2000;
-  const int vr = (rank_ - root + size_) % size_;
-  int lowbit = vr == 0 ? 1 : (vr & -vr);
-  if (vr == 0) {
-    while (lowbit < size_) lowbit <<= 1;
-  } else {
-    const int parent = (vr - lowbit + root) % size_;
-    crecv(buf, len, parent, kTag);
-  }
-  for (int m = lowbit >> 1; m >= 1; m >>= 1) {
-    if (vr + m < size_) {
-      const int child = (vr + m + root) % size_;
-      csend(buf, len, child, kTag);
-    }
-  }
+  coll::Engine::bcast(*this, buf, len, root, coll_);
 }
 
 void Comm::gather(const void* sendbuf, std::size_t block, void* recvbuf, int root) {
@@ -176,6 +155,10 @@ void Comm::scatter(const void* sendbuf, std::size_t block, void* recvbuf, int ro
 
 void Comm::allgather(const void* sendbuf, std::size_t block, void* recvbuf) {
   // Ring: P-1 steps, each forwarding the block received in the previous one.
+  // Tags wrap modulo 16 (same scheme as alltoallv): the blocking per-step
+  // exchange keeps each (pair, tag) stream FIFO, while a distinct tag per
+  // step would leave O(P) per-(peer, tag) matching entries alive at every
+  // rank — hundreds of MB of dead matching state at 512 ranks.
   constexpr int kTag = 6000;
   auto* out = static_cast<std::byte*>(recvbuf);
   std::memcpy(out + static_cast<std::size_t>(rank_) * block, sendbuf, block);
@@ -184,25 +167,14 @@ void Comm::allgather(const void* sendbuf, std::size_t block, void* recvbuf) {
   int cur = rank_;
   for (int step = 0; step < size_ - 1; ++step) {
     const int incoming = (cur - 1 + size_) % size_;
-    csendrecv(out + static_cast<std::size_t>(cur) * block, block, right, kTag + step,
-              out + static_cast<std::size_t>(incoming) * block, block, left, kTag + step);
+    csendrecv(out + static_cast<std::size_t>(cur) * block, block, right, kTag + (step & 15),
+              out + static_cast<std::size_t>(incoming) * block, block, left, kTag + (step & 15));
     cur = incoming;
   }
 }
 
 void Comm::alltoall(const void* sendbuf, std::size_t block, void* recvbuf) {
-  // Pairwise exchange: P-1 rounds of shifted sendrecv.
-  constexpr int kTag = 7000;
-  const auto* in = static_cast<const std::byte*>(sendbuf);
-  auto* out = static_cast<std::byte*>(recvbuf);
-  std::memcpy(out + static_cast<std::size_t>(rank_) * block,
-              in + static_cast<std::size_t>(rank_) * block, block);
-  for (int k = 1; k < size_; ++k) {
-    const int dst = (rank_ + k) % size_;
-    const int src = (rank_ - k + size_) % size_;
-    csendrecv(in + static_cast<std::size_t>(dst) * block, block, dst, kTag + k,
-              out + static_cast<std::size_t>(src) * block, block, src, kTag + k);
-  }
+  coll::Engine::alltoall(*this, sendbuf, block, recvbuf, coll_);
 }
 
 void Comm::alltoallv(const void* sendbuf, const std::size_t* sendcounts,

@@ -8,8 +8,10 @@
 #include <cstddef>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "coll/coll.hpp"
 #include "common/assert.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/transport.hpp"
@@ -188,6 +190,15 @@ class Comm {
   }
 
   // --- collectives ----------------------------------------------------------
+  // Implemented by the coll::Engine (src/coll): per-op algorithms are
+  // selected by the coll::Config knob (ClusterConfig::coll + NMX_COLL_* env),
+  // and every host-tree edge routes through the transport — rail choice and
+  // rendezvous chunking stay with the NewMadeleine cost model.
+
+  /// Install the collective algorithm configuration (Cluster does this from
+  /// ClusterConfig::coll; split children inherit it).
+  void set_coll_config(const coll::Config& cfg) { coll_ = cfg; }
+  const coll::Config& coll_config() const { return coll_; }
 
   void barrier();
   void bcast(void* buf, std::size_t len, int root);
@@ -264,6 +275,8 @@ class Comm {
   }
 
  private:
+  friend class ::nmx::coll::Engine;  // uses inline plumbing only (see coll.hpp)
+
   static constexpr int kUserContext = 0;
   static constexpr int kCollContext = 1;
 
@@ -312,6 +325,19 @@ class Comm {
   template <class T>
   static void apply(ReduceOp op, T* inout, const T* in, std::size_t n);
 
+  /// Shared tail of allreduce/allreduce_rd: hand the byte-erased in-place
+  /// vector to the coll engine. One scalar double is NIC-offloadable.
+  template <class T>
+  void allreduce_inplace(T* data, std::size_t count, ReduceOp op, const coll::Config& cfg) {
+    const int nic_op = std::is_same_v<T, double> && count == 1 ? static_cast<int>(op) : -1;
+    coll::Engine::allreduce(
+        *this, data, sizeof(T), count,
+        [op](void* inout, const void* in, std::size_t n) {
+          apply(op, static_cast<T*>(inout), static_cast<const T*>(in), n);
+        },
+        nic_op, cfg);
+  }
+
   sim::Actor& actor_;
   Transport& tx_;
   sim::Engine& eng_;
@@ -321,6 +347,10 @@ class Comm {
   std::vector<int> group_;  ///< local rank -> world rank
   int ctx_base_ = 0;        ///< context block of this communicator
   int next_split_ctx_ = 16; ///< context block for the next split (collective)
+  coll::Config coll_;       ///< collective algorithm selection
+  /// Group-wide collective sequence number: feeds the NIC combine-tree ids
+  /// (identical call sequence on every member keeps it in agreement).
+  std::uint32_t next_coll_id_ = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -372,54 +402,16 @@ void Comm::reduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op, 
 
 template <class T>
 void Comm::allreduce(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
-  reduce(sendbuf, recvbuf, count, op, 0);
-  bcast(recvbuf, count * sizeof(T), 0);
+  if (recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, count * sizeof(T));
+  allreduce_inplace(recvbuf, count, op, coll_);
 }
 
 template <class T>
 void Comm::allreduce_rd(const T* sendbuf, T* recvbuf, std::size_t count, ReduceOp op) {
-  constexpr int kTag = 8500;
-  std::vector<T> acc(sendbuf, sendbuf + count);
-  std::vector<T> tmp(count);
-  const std::size_t bytes = count * sizeof(T);
-
-  // Largest power of two <= P; the excess ranks fold into a partner first,
-  // sit out the doubling, and get the result afterwards.
-  int pof2 = 1;
-  while (pof2 * 2 <= size_) pof2 *= 2;
-  const int rem = size_ - pof2;
-
-  int newrank;
-  if (rank_ < 2 * rem) {
-    if (rank_ % 2 == 0) {  // even excess rank: contribute and sit out
-      csend(acc.data(), bytes, rank_ + 1, kTag);
-      newrank = -1;
-    } else {
-      crecv(tmp.data(), bytes, rank_ - 1, kTag);
-      apply(op, acc.data(), tmp.data(), count);
-      newrank = rank_ / 2;
-    }
-  } else {
-    newrank = rank_ - rem;
-  }
-
-  if (newrank >= 0) {
-    for (int mask = 1; mask < pof2; mask <<= 1) {
-      const int newdst = newrank ^ mask;
-      const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
-      csendrecv(acc.data(), bytes, dst, kTag + 1, tmp.data(), bytes, dst, kTag + 1);
-      apply(op, acc.data(), tmp.data(), count);
-    }
-  }
-
-  if (rank_ < 2 * rem) {
-    if (rank_ % 2 == 0) {
-      crecv(acc.data(), bytes, rank_ + 1, kTag + 2);
-    } else {
-      csend(acc.data(), bytes, rank_ - 1, kTag + 2);
-    }
-  }
-  std::memcpy(recvbuf, acc.data(), bytes);
+  if (recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, count * sizeof(T));
+  coll::Config cfg = coll_;
+  cfg.allreduce = coll::Algo::RecDoubling;
+  allreduce_inplace(recvbuf, count, op, cfg);
 }
 
 template <class T>

@@ -1,7 +1,15 @@
 // CG — conjugate gradient with an irregular sparse matrix, 2D-decomposed as
 // in NPB: every matrix-vector product reduces partial results across the
-// processor row (log2 steps of n/npcols doubles) and exchanges the result
-// with a transpose partner. Latency- and medium-message-sensitive.
+// processor row (n/npcols doubles) and exchanges the result with a transpose
+// partner. Latency- and medium-message-sensitive.
+//
+// The row reduction routes through the collective engine: each processor row
+// is a sub-communicator (Comm::split) and the partial products fold with a
+// real `allreduce`, so the reduction's tree shape and every edge's rail
+// choice come from the engine's algorithm knob and cost model. The engine
+// handles non-power-of-two rows too, so the old shifted-ring fallback is
+// gone. The transpose stays a pairwise sendrecv — it is a point-to-point
+// exchange, not a collective.
 #include <cmath>
 
 #include "nas/grid.hpp"
@@ -37,10 +45,14 @@ class CgKernel final : public NasKernel {
     const Grid2D g = Grid2D::make(c.rank(), c.size());
     const int row_size = g.px;  // ranks sharing a processor row
 
-    // Row-reduction exchange: n/npcols doubles per step.
-    const std::size_t seg_bytes = p.n / static_cast<std::size_t>(row_size) * sizeof(double);
-    std::vector<std::byte> seg_out(std::max<std::size_t>(seg_bytes, 16));
-    std::vector<std::byte> seg_in(seg_out.size());
+    // One sub-communicator per processor row; the engine's collectives run
+    // inside it with the parent's algorithm configuration.
+    mpi::Comm row = c.split(g.y, g.x);
+
+    // Row-reduction: n/npcols doubles of partial products per matvec.
+    const std::size_t seg_count =
+        std::max<std::size_t>(p.n / static_cast<std::size_t>(row_size), 2);
+    std::vector<double> seg(seg_count);
     // Transpose exchange: the rank's own share of the vector.
     const std::size_t tr_bytes =
         std::max<std::size_t>(p.n * sizeof(double) / static_cast<std::size_t>(c.size()), 16);
@@ -54,27 +66,22 @@ class CgKernel final : public NasKernel {
     // keep their segment locally.
     const int transpose_partner = (c.size() - c.rank()) % c.size();
 
-    const bool row_pow2 = (row_size & (row_size - 1)) == 0;
+    const double row_expect =
+        static_cast<double>(row_size) * (row_size + 1) / 2;
 
     return timed_loop(c, p.niter, cfg.iter_fraction, [&](int iter) {
       for (int mv = 0; mv < p.matvecs_per_iter; ++mv) {
         c.compute(matvec_compute);
         // Reduce partial products across the processor row.
-        if (row_pow2) {
-          for (int bit = 1; bit < row_size; bit <<= 1) {
-            const int partner = g.rank_of(g.x ^ bit, g.y);
-            stamp(seg_out, c.rank(), mv);
-            c.sendrecv(seg_out.data(), seg_bytes, partner, 300 + mv % 8, seg_in.data(),
-                       seg_in.size(), partner, 300 + mv % 8);
-            check_stamp(seg_in, partner, mv, cfg.validate);
-          }
-        } else {
-          for (int s = 1; s < row_size; ++s) {
-            const int to = g.rank_of((g.x + s) % row_size, g.y);
-            const int from = g.rank_of((g.x - s + row_size) % row_size, g.y);
-            c.sendrecv(seg_out.data(), seg_bytes, to, 300 + mv % 8, seg_in.data(), seg_in.size(),
-                       from, 300 + mv % 8);
-          }
+        seg.assign(seg_count, 1.0 + g.x);
+        if (row_size > 1) {
+          row.allreduce(seg.data(), seg.data(), seg_count, mpi::ReduceOp::Sum);
+        }
+        if (cfg.validate) {
+          NMX_ASSERT_MSG(row_size == 1 || seg.front() == row_expect,
+                         "CG row reduction mismatch");
+          NMX_ASSERT_MSG(row_size == 1 || seg.back() == row_expect,
+                         "CG row reduction mismatch");
         }
         // Transpose exchange of the reduced segment.
         if (transpose_partner != c.rank()) {

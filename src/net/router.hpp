@@ -27,6 +27,15 @@ class ProcRouter {
     handlers_.emplace(proc, std::move(h));
   }
 
+  /// NIC-internal loopback between co-located processes: the fabric refuses
+  /// intra-node traffic (that is Nemesis' job), but the NIC-offloaded
+  /// collective unit legitimately combines across local ranks without
+  /// touching the wire — deliver straight to the destination endpoint.
+  void deliver_local(WirePacket&& pkt) {
+    NMX_ASSERT(pkt.dst_node == node_);
+    route(std::move(pkt));
+  }
+
  private:
   void route(WirePacket&& pkt) {
     auto it = handlers_.find(pkt.dst_proc);

@@ -14,15 +14,28 @@ namespace nmx::nmad {
 
 namespace {
 /// Pseudo-byte weight of the beta-proportional prior in the per-peer arrival
-/// mix (sample_rail_ads): observed landings dominate once a peer has landed
-/// more than this many rendezvous bytes.
+/// mix (sample_rail_ads): the prior only fills the gap until this much
+/// *recent* (decayed) landing mass has been observed, then fades out.
 constexpr std::size_t kMixPriorBytes = 256 * 1024;
+/// Time constant of the exponential decay on the observed per-rail landing
+/// mix: a couple of large-chunk landings wide, so the mix tracks the current
+/// landing rate instead of the whole run's history. Sim-time based —
+/// deterministic.
+constexpr Time kMixDecayTau = 2e-3;
+/// NIC firmware processing per collective control packet (Yu et al. report
+/// the NIC-based barrier's per-hop cost is dominated by wire latency, with
+/// firmware handling well under a microsecond).
+constexpr Time kNicCollProc = 0.2e-6;
+/// NIC-internal loopback between co-located processes sharing the node's
+/// NICs: no wire, no egress occupancy, just a doorbell across the bus.
+constexpr Time kNicCollLoopback = 0.3e-6;
 }  // namespace
 
 Core::Core(sim::Engine& eng, net::Fabric& fabric, net::ProcRouter& router, int my_proc,
            ExtendedConfig cfg)
     : eng_(eng),
       fabric_(fabric),
+      router_(router),
       my_proc_(my_proc),
       my_node_(fabric.topology().node_of(my_proc)),
       cfg_(cfg),
@@ -301,7 +314,7 @@ void Core::try_flush() {
   }
 }
 
-void Core::submit(int local_rail, WireMsg wm) {
+void Core::submit(int local_rail, WireMsg wm, bool nic_direct) {
   Driver& d = drivers_[static_cast<std::size_t>(local_rail)];
   NMX_ASSERT(!d.busy);
   d.busy = true;
@@ -309,11 +322,18 @@ void Core::submit(int local_rail, WireMsg wm) {
   // Software cost before the NIC sees the packet: generic-layer injection,
   // eager copy into the packet wrapper, and on-the-fly registration of
   // rendezvous payload (NewMadeleine has no registration cache — §4.1.1).
-  Time pre = cfg_.inject_overhead();
-  pre += calib::copy_cost(wm.copied_bytes());
-  const net::NicProfile& prof = fabric_.profile(d.fabric_rail);
-  if (prof.needs_registration && wm.rdv_bytes() > 0) {
-    pre += calib::ib_reg_cost(wm.rdv_bytes());
+  // NIC-offloaded collective packets never touch the host: they are charged
+  // the firmware processing cost only.
+  Time pre;
+  if (nic_direct) {
+    pre = kNicCollProc;
+  } else {
+    pre = cfg_.inject_overhead();
+    pre += calib::copy_cost(wm.copied_bytes());
+    const net::NicProfile& prof = fabric_.profile(d.fabric_rail);
+    if (prof.needs_registration && wm.rdv_bytes() > 0) {
+      pre += calib::ib_reg_cost(wm.rdv_bytes());
+    }
   }
 
   std::vector<Note> notes;
@@ -333,7 +353,9 @@ void Core::submit(int local_rail, WireMsg wm) {
   // reality at on_egress.
   d.tx_pred = std::max(eng_.now() + pre, fabric_.egress_busy_until(my_node_, d.fabric_rail)) +
               sampling_.predict_egress(local_rail, bytes);
-  strat_depth_ -= std::min(strat_depth_, wm.entries.size());
+  // NIC-direct packets bypass the strategy queue entirely; only host-path
+  // submissions shrink its depth.
+  if (!nic_direct) strat_depth_ -= std::min(strat_depth_, wm.entries.size());
   if (obs::Recorder* rec = eng_.recorder()) {
     d.tx_span = rec->begin(eng_.now(), my_proc_, obs::Cat::NmadTx, bytes, local_rail);
     d.tx_begin = eng_.now();
@@ -400,26 +422,17 @@ void Core::on_egress(int local_rail, std::vector<Note> notes) {
         // the replay re-sends these bytes, so they must not count here.
         rec2->metrics().counter("nmad.rdv.stale_tx_notes").add(1);
       }
-      // Completion needs *both*: every byte of the current epoch drained and
-      // no note still in flight — a pending stale-epoch note would otherwise
-      // fire after the request was released.
-      if (n.sreq->bytes_outstanding == 0 && n.sreq->inflight_notes == 0) {
-        // Every planned chunk must be gone from the strategy before the
-        // rendezvous is retired — anything still queued here would leak into
-        // the per-rail backlog accounting forever. Drain defensively and
-        // surface the leak instead of silently corrupting the cost model.
-        const std::size_t leaked = strategy_->cancel_rdv(n.sreq->peer, n.sreq->rdv_id);
-        if (leaked > 0) {
-          if (obs::Recorder* rec = eng_.recorder()) {
-            rec->metrics().counter("nmad.sched.cancel_drained_bytes").add(leaked);
-          }
-        }
-        rdv_out_.erase(n.sreq->rdv_id);
-        complete(*n.sreq);
-      }
+      // Retirement needs *three* things: every byte of the current epoch
+      // drained, no note still in flight (a pending stale-epoch note would
+      // otherwise fire after the request was released), and — the part
+      // egress alone cannot prove — the receiver's completion ack
+      // (fin_seen). Retiring on egress used to orphan restart re-grants
+      // that were still racing toward us (nmad.rdv.orphan_cts).
+      try_retire(n.sreq);
     }
   }
   sample_sched();
+  drain_nic_txq();
   if (strategy_->pending()) kick();
 }
 
@@ -471,7 +484,21 @@ void Core::rts_retry(Request* req) {
 // --------------------------------------------------------------------------
 
 void Core::rx_wire(net::WirePacket&& pkt) {
-  pending_rx_.push_back(RxItem{pkt.rail, std::move(std::any_cast<WireMsg&>(pkt.payload))});
+  WireMsg& m = std::any_cast<WireMsg&>(pkt.payload);
+  // NIC-offloaded collective control is consumed by the NIC unit itself: no
+  // host matching, no deliver overhead, no progress gating — that autonomy
+  // is the point of the Yu et al. offload. CollCtl always travels alone
+  // (nic_coll_send builds single-entry packets).
+  if (!m.entries.empty() && m.entries[0].kind == Entry::Kind::CollCtl) {
+    for (const Entry& e : m.entries) {
+      eng_.schedule_in_checked(kNicCollProc,
+                               [this, id = e.rdv_id, value = e.coll_value, ctl = e.coll_ctl] {
+                                 nic_coll_rx(id, value, ctl);
+                               });
+    }
+    return;
+  }
+  pending_rx_.push_back(RxItem{pkt.rail, std::move(m)});
   if (progress_allowed()) {
     drain_rx();
   } else {
@@ -554,6 +581,15 @@ void Core::dispatch_entry(int src, int fabric_rail, Entry e) {
       // through the FaultPlan listener) but kept honest: this is the only
       // signal a real remote peer would have. Idempotent on arrival.
       handle_rail_down(e.down_rail, /*from_wire=*/true);
+      break;
+    case Entry::Kind::RdvFin:
+      handle_rdv_fin(e);
+      break;
+    case Entry::Kind::CollCtl:
+      // Normally peeled in rx_wire (the NIC unit handles these without host
+      // progress); reaching the host dispatch path is harmless — hand it to
+      // the same unit.
+      nic_coll_rx(e.rdv_id, e.coll_value, e.coll_ctl);
       break;
   }
 }
@@ -679,6 +715,15 @@ void Core::handle_dup_rts(int src, Entry& e) {
   send_cts(src, e.rdv_id, it->second.epoch, it->second.req->span);
 }
 
+void Core::decay_rx_mix(GateState& g) const {
+  const Time now = eng_.now();
+  if (now > g.rdv_rx_t && !g.rdv_rx_by_rail.empty()) {
+    const double f = std::exp(-(now - g.rdv_rx_t) / kMixDecayTau);
+    for (double& w : g.rdv_rx_by_rail) w *= f;
+  }
+  g.rdv_rx_t = now;
+}
+
 std::vector<RailAd> Core::sample_rail_ads(int granting_src, std::uint64_t granting_rdv) const {
   const Time now = eng_.now();
   std::vector<RailAd> ads(drivers_.size());
@@ -688,24 +733,35 @@ std::vector<RailAd> Core::sample_rail_ads(int granting_src, std::uint64_t granti
     ads[r].busy_delta = busy > now ? busy - now : 0;
   }
   // Granted-but-unlanded inbound rendezvous bytes, attributed to rails by
-  // each peer's observed arrival mix (beta-proportional prior until enough
-  // bytes have landed to trust the observation). The rendezvous being granted
-  // is excluded — its bytes are exactly what the sender is about to plan.
+  // each peer's observed *recent* arrival mix: the per-rail landing mass
+  // decays exponentially (kMixDecayTau), so the attribution follows the
+  // current landing rate — a rail that went quiet (died, got congested, or
+  // lost the sender's favor) stops attracting backlog instead of being
+  // pinned by cumulative history. The beta-proportional prior only fills
+  // whatever share of kMixPriorBytes the decayed observation has not earned
+  // yet. The rendezvous being granted is excluded — its bytes are exactly
+  // what the sender is about to plan.
   for (const auto& [key, rin] : rdv_in_) {
     if (key.first == granting_src && key.second == granting_rdv) continue;
     const std::size_t outstanding = rin.req != nullptr ? rin.req->bytes_outstanding : 0;
     if (outstanding == 0) continue;
     double beta_sum = 0.0;
     for (const auto& rp : sampling_.rails()) beta_sum += rp.beta;
+    auto git = gates_.find(key.first);
+    double obs_f = 0.0;  // decay factor at read time (state stays const here)
+    double obs_total = 0.0;
+    if (git != gates_.end() && !git->second.rdv_rx_by_rail.empty()) {
+      obs_f = std::exp(-(now - git->second.rdv_rx_t) / kMixDecayTau);
+      for (double w : git->second.rdv_rx_by_rail) obs_total += w * obs_f;
+    }
+    const double prior_mass =
+        std::max(0.0, static_cast<double>(kMixPriorBytes) - obs_total);
     std::vector<double> weight(drivers_.size(), 0.0);
     double total_w = 0.0;
-    auto git = gates_.find(key.first);
     for (std::size_t r = 0; r < drivers_.size(); ++r) {
-      // Pseudo-bytes: the prior pretends kMixPriorBytes already landed in
-      // bandwidth proportion, so one early chunk cannot pin the whole mix.
-      double w = static_cast<double>(kMixPriorBytes) * sampling_.rails()[r].beta / beta_sum;
+      double w = prior_mass * sampling_.rails()[r].beta / beta_sum;
       if (git != gates_.end() && r < git->second.rdv_rx_by_rail.size()) {
-        w += static_cast<double>(git->second.rdv_rx_by_rail[r]);
+        w += git->second.rdv_rx_by_rail[r] * obs_f;
       }
       weight[r] = w;
       total_w += w;
@@ -840,6 +896,9 @@ void Core::handle_cts(int src, Entry& cts) {
 
 void Core::start_rdv_data(Request* req, Entry& cts) {
   req->bytes_outstanding = req->len;
+  // A restart replay supersedes any (impossible in practice, see
+  // handle_rdv_fin) earlier ack: the new epoch must earn its own fin.
+  req->fin_seen = false;
 
   // Cost-model strategies carve the payload into chunks themselves, re-solving
   // the split per chunk as rails drain; hand them the whole payload unplanned,
@@ -899,11 +958,15 @@ void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
   }
   Request* req = it->second.req;
   // Feed the per-peer arrival mix that attributes granted-but-unlanded bytes
-  // to rails in future CTS load advertisements.
+  // to rails in future CTS load advertisements. Decay-then-add keeps the mix
+  // a landing-*rate* observation, not a cumulative history.
   GateState& g = gate(src);
-  if (g.rdv_rx_by_rail.size() < drivers_.size()) g.rdv_rx_by_rail.resize(drivers_.size(), 0);
+  if (g.rdv_rx_by_rail.size() < drivers_.size()) g.rdv_rx_by_rail.resize(drivers_.size(), 0.0);
+  decay_rx_mix(g);
   const int lr = local_rail_of(fabric_rail);
-  if (lr >= 0) g.rdv_rx_by_rail[static_cast<std::size_t>(lr)] += e.bytes.size();
+  if (lr >= 0) {
+    g.rdv_rx_by_rail[static_cast<std::size_t>(lr)] += static_cast<double>(e.bytes.size());
+  }
   if (obs::Recorder* rec = eng_.recorder()) {
     rec->instant(eng_.now(), my_proc_, obs::Cat::RdvData, e.bytes.size(),
                  static_cast<std::int64_t>(e.span));
@@ -924,9 +987,72 @@ void Core::handle_rdv_data(int src, int fabric_rail, Entry& e) {
   NMX_ASSERT(req->bytes_outstanding >= e.bytes.size());
   req->bytes_outstanding -= e.bytes.size();
   if (req->bytes_outstanding == 0) {
+    // Completion ack before the grant state goes away: the sender's
+    // retirement is gated on this fin, so a restart re-grant can never race
+    // an already-retired rendezvous (the orphan window).
+    send_rdv_fin(src, e.rdv_id, req->received, it->second.epoch, req->span);
     rdv_in_.erase(it);
     complete(*req);
   }
+}
+
+void Core::send_rdv_fin(int dst, std::uint64_t rdv_id, std::size_t landed, std::uint32_t epoch,
+                        std::uint64_t span) {
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->metrics().counter("nmad.rdv.fin_tx").add(1);
+  }
+  Entry fin;
+  fin.kind = Entry::Kind::RdvFin;
+  fin.dst_proc = dst;
+  fin.rdv_id = rdv_id;
+  fin.rdv_total = landed;  // the landed-byte ack (charged in kRdvFinHeader)
+  fin.epoch = epoch;
+  fin.span = span;
+  enqueue(std::move(fin));
+  kick();
+}
+
+void Core::handle_rdv_fin(Entry& e) {
+  auto it = rdv_out_.find(e.rdv_id);
+  if (it == rdv_out_.end()) {
+    // Fins are never faulted, so a fin for a retired rendezvous should be
+    // unreachable; tolerate it defensively (a duplicate would otherwise
+    // crash the sender) but surface it.
+    NMX_ASSERT_MSG(e.rdv_id < next_rdv_, "completion ack for unknown rendezvous");
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.rdv.stale_fins").add(1);
+    }
+    return;
+  }
+  Request* req = it->second;
+  if (e.epoch != req->epoch) {
+    // Ack of a superseded grant epoch. Cannot normally happen — a completed
+    // grant is erased before a restart could re-grant it — but a fin that
+    // crossed a newer re-grant must not retire the replayed transfer.
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.rdv.stale_fins").add(1);
+    }
+    return;
+  }
+  NMX_ASSERT_MSG(e.rdv_total == req->len, "completion ack does not cover the full payload");
+  req->fin_seen = true;
+  try_retire(req);
+}
+
+void Core::try_retire(Request* req) {
+  if (!req->fin_seen || req->bytes_outstanding != 0 || req->inflight_notes != 0) return;
+  // Every planned chunk must be gone from the strategy before the rendezvous
+  // is retired — anything still queued here would leak into the per-rail
+  // backlog accounting forever. Drain defensively and surface the leak
+  // instead of silently corrupting the cost model.
+  const std::size_t leaked = strategy_->cancel_rdv(req->peer, req->rdv_id);
+  if (leaked > 0) {
+    if (obs::Recorder* rec = eng_.recorder()) {
+      rec->metrics().counter("nmad.sched.cancel_drained_bytes").add(leaked);
+    }
+  }
+  rdv_out_.erase(req->rdv_id);
+  complete(*req);
 }
 
 void Core::handle_rail_down(int fabric_rail, bool from_wire) {
@@ -1009,8 +1135,157 @@ void Core::on_restart() {
     send_cts(key.first, key.second, rin.epoch, rin.req->span);
   }
   // The observed per-peer arrival mix is landing-progress state too.
-  for (auto& [peer, g] : gates_) g.rdv_rx_by_rail.clear();
+  // nmx-lint: allow(determinism) per-peer reset to identical fresh values; order cannot leak
+  for (auto& [peer, g] : gates_) {
+    g.rdv_rx_by_rail.clear();
+    g.rdv_rx_t = eng_.now();
+  }
   kick();
+}
+
+// --------------------------------------------------------------------------
+// NIC-offloaded collectives (Yu/Buntinas/Graham/Panda model)
+// --------------------------------------------------------------------------
+
+namespace {
+/// Combine op encoding shared with mpi::Transport::nic_coll: 0 sum, 1 prod,
+/// 2 min, 3 max, 4 broadcast (the root's value wins; contributions gate only).
+double nic_combine(int op, double a, double b) {
+  switch (op) {
+    case 1: return a * b;
+    case 2: return std::min(a, b);
+    case 3: return std::max(a, b);
+    case 4: return a;  // broadcast: the locally posted value is kept
+    default: return a + b;
+  }
+}
+}  // namespace
+
+void Core::nic_coll_post(std::uint64_t coll_id, int parent, std::vector<int> children,
+                         double value, int op, std::function<void(double)> done) {
+  NicColl& st = nic_colls_[coll_id];
+  NMX_ASSERT_MSG(!st.posted, "NIC collective posted twice under one id");
+  st.parent = parent;
+  st.children = std::move(children);
+  st.posted = true;
+  st.op = op;
+  st.done = std::move(done);
+  // The local contribution is folded first so op 4 (broadcast) keeps it.
+  st.acc = st.has_acc ? nic_combine(op, value, st.acc) : value;
+  st.has_acc = true;
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->metrics().counter("nmad.coll.nic_posts").add(1);
+  }
+  nic_coll_maybe_up(coll_id, st);
+}
+
+void Core::nic_coll_rx(std::uint64_t id, double value, std::uint32_t ctl) {
+  if ((ctl & Entry::kCollDown) != 0) {
+    nic_coll_release(id, value);
+    return;
+  }
+  NicColl& st = nic_colls_[id];
+  const int op = static_cast<int>(ctl & Entry::kCollOpMask);
+  st.op = op;  // arrivals may precede the local post; the ctl word carries op
+  // Child contributions fold in as the second operand so op 4 keeps the
+  // locally posted value regardless of arrival order.
+  st.acc = st.has_acc ? nic_combine(op, st.acc, value) : value;
+  st.has_acc = true;
+  ++st.arrived;
+  nic_coll_maybe_up(id, st);
+}
+
+void Core::nic_coll_maybe_up(std::uint64_t id, NicColl& st) {
+  if (!st.posted || st.arrived < st.children.size()) return;
+  if (st.parent >= 0) {
+    nic_coll_send(st.parent, id, st.acc, static_cast<std::uint32_t>(st.op));
+    return;  // state stays: the broadcast-down releases us
+  }
+  nic_coll_release(id, st.acc);
+}
+
+void Core::nic_coll_release(std::uint64_t id, double result) {
+  auto it = nic_colls_.find(id);
+  NMX_ASSERT_MSG(it != nic_colls_.end() && it->second.posted,
+                 "NIC collective released without a local post");
+  const std::uint32_t ctl = static_cast<std::uint32_t>(it->second.op) | Entry::kCollDown;
+  for (int c : it->second.children) nic_coll_send(c, id, result, ctl);
+  std::function<void(double)> done = std::move(it->second.done);
+  nic_colls_.erase(it);
+  if (done) done(result);
+}
+
+void Core::nic_coll_send(int dst, std::uint64_t id, double value, std::uint32_t ctl) {
+  if (obs::Recorder* rec = eng_.recorder()) {
+    rec->metrics().counter("nmad.coll.nic_msgs").add(1);
+  }
+  if (fabric_.topology().node_of(dst) == my_node_) {
+    // Co-located ranks share the node's NICs: the combine step between them
+    // is NIC-internal — no wire, no egress occupancy. Delivered through the
+    // router straight into the peer's NIC unit.
+    WireMsg wm;
+    wm.src_proc = my_proc_;
+    wm.dst_proc = dst;
+    Entry e;
+    e.kind = Entry::Kind::CollCtl;
+    e.dst_proc = dst;
+    e.rdv_id = id;
+    e.coll_value = value;
+    e.coll_ctl = ctl;
+    wm.entries.push_back(std::move(e));
+    net::WirePacket pkt;
+    pkt.src_node = my_node_;
+    pkt.dst_node = my_node_;
+    pkt.dst_proc = dst;
+    pkt.rail = drivers_[0].fabric_rail;
+    pkt.bytes = wm.wire_bytes();
+    pkt.payload = std::move(wm);
+    eng_.schedule_in_checked(kNicCollLoopback,
+                             [this, bp = std::make_unique<net::WirePacket>(std::move(pkt))] {
+                               router_.deliver_local(std::move(*bp));
+                             });
+    return;
+  }
+  Entry e;
+  e.kind = Entry::Kind::CollCtl;
+  e.dst_proc = dst;
+  e.rdv_id = id;
+  e.coll_value = value;
+  e.coll_ctl = ctl;
+  nic_txq_.push_back(std::move(e));
+  drain_nic_txq();
+}
+
+void Core::drain_nic_txq() {
+  while (!nic_txq_.empty()) {
+    const std::size_t bytes = nic_txq_.front().wire_bytes();
+    // Cost-model rail choice for the tree edge: earliest predicted egress
+    // completion among live rails — queueing behind whatever the shared NIC
+    // is already booked for, then the sampled egress transfer model. A dead
+    // rail is skipped; a congested one loses the argmin.
+    int best = -1;
+    Time best_t = 0;
+    for (std::size_t r = 0; r < drivers_.size(); ++r) {
+      const Driver& d = drivers_[r];
+      if (d.dead) continue;
+      const Time t =
+          std::max(eng_.now(), fabric_.egress_busy_until(my_node_, d.fabric_rail)) +
+          sampling_.predict_egress(static_cast<int>(r), bytes);
+      if (best < 0 || t < best_t) {
+        best = static_cast<int>(r);
+        best_t = t;
+      }
+    }
+    NMX_ASSERT_MSG(best >= 0, "NIC collective with every rail dead");
+    if (drivers_[static_cast<std::size_t>(best)].busy) return;  // its egress re-drains
+    Entry e = std::move(nic_txq_.front());
+    nic_txq_.pop_front();
+    WireMsg wm;
+    wm.src_proc = my_proc_;
+    wm.dst_proc = e.dst_proc;
+    wm.entries.push_back(std::move(e));
+    submit(best, std::move(wm), /*nic_direct=*/true);
+  }
 }
 
 void Core::complete(Request& r) {

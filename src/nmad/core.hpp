@@ -116,6 +116,19 @@ class Core {
   std::size_t unexpected_count() const { return unexpected_total_; }
   std::size_t rdv_started() const { return rdv_started_; }
 
+  // --- NIC-offloaded collectives (Yu/Buntinas/Graham/Panda model) ---------
+
+  /// Post this rank's contribution to NIC combine tree `coll_id`: the NIC
+  /// unit folds children's values into ours (op per the coll layer's
+  /// encoding), forwards the partial up the tree (`parent`, -1 = root), and
+  /// the root's broadcast-down releases every rank by firing `done(result)`.
+  /// Control packets are handled by the NIC itself — no host matching, no
+  /// deliver overhead, and no progress gating — and each tree edge picks the
+  /// rail with the earliest predicted egress among live rails, so a dead or
+  /// congested rail bends the combine tree like any other cost-model edge.
+  void nic_coll_post(std::uint64_t coll_id, int parent, std::vector<int> children, double value,
+                     int op, std::function<void(double)> done);
+
  private:
   struct Unexpected {
     std::uint64_t arrival = 0;  ///< global arrival order (for wildcard probe)
@@ -142,7 +155,12 @@ class Core {
     /// Rendezvous bytes from this peer that landed per local rail — the
     /// observed arrival mix used to attribute granted-but-unlanded bytes to
     /// rails in the CTS load advertisement (empty until first chunk lands).
-    std::vector<std::size_t> rdv_rx_by_rail;
+    /// Exponentially time-decayed (kMixDecayTau) so the mix tracks the
+    /// *current* landing rate: a rail that stopped landing bytes stops
+    /// attracting backlog attribution instead of being pinned forever by
+    /// stale history.
+    std::vector<double> rdv_rx_by_rail;
+    Time rdv_rx_t = 0;  ///< last time the decay was applied to the mix
   };
 
   struct RdvIn {
@@ -179,7 +197,9 @@ class Core {
   void sample_sched();
   void kick();
   void try_flush();
-  void submit(int local_rail, WireMsg wm);
+  /// `nic_direct`: a NIC-offloaded collective packet — charged the firmware
+  /// processing cost instead of host injection + copy overheads.
+  void submit(int local_rail, WireMsg wm, bool nic_direct = false);
   void on_egress(int local_rail, std::vector<Note> notes);
   void rx_wire(net::WirePacket&& pkt);
   void drain_rx();
@@ -198,6 +218,17 @@ class Core {
   /// outstanding-byte count and enqueue the payload under req->epoch.
   void start_rdv_data(Request* req, Entry& cts);
   void handle_rdv_data(int src, int fabric_rail, Entry& e);
+  /// Receiver->sender completion ack: every byte of the rendezvous landed
+  /// under this grant epoch. Sets fin_seen and attempts retirement.
+  void handle_rdv_fin(Entry& e);
+  /// Enqueue the completion ack once the last rendezvous byte lands.
+  void send_rdv_fin(int dst, std::uint64_t rdv_id, std::size_t landed, std::uint32_t epoch,
+                    std::uint64_t span);
+  /// Retire a sender-side rendezvous iff the receiver acked completion
+  /// (fin_seen), all bytes cleared egress, and no note is in flight. Gating
+  /// on the ack closes the restart orphan window: egress alone does not
+  /// prove delivery, and a restart re-grant may still be racing toward us.
+  void try_retire(Request* req);
   void start_rdv_recv(int src, Request* req, std::uint64_t rdv_id, std::size_t total,
                       std::uint64_t sender_span = 0);
   /// Build and enqueue one CTS grant (initial grant, re-grant on duplicate
@@ -222,9 +253,38 @@ class Core {
   /// occupancy past "now" plus granted-but-unlanded inbound bytes (excluding
   /// the rendezvous being granted, which the sender accounts for itself).
   std::vector<RailAd> sample_rail_ads(int granting_src, std::uint64_t granting_rdv) const;
+  /// Apply the exponential landing-mix decay to a gate (idempotent per time).
+  void decay_rx_mix(GateState& g) const;
+
+  // NIC collective unit internals. State is keyed by collective id; arrivals
+  // may precede the local post (the CollCtl carries the op), so entries are
+  // created on first touch.
+  struct NicColl {
+    int parent = -1;
+    std::vector<int> children;
+    std::size_t arrived = 0;  ///< children contributions combined so far
+    bool posted = false;      ///< local rank contributed (done/children valid)
+    bool has_acc = false;
+    double acc = 0;
+    int op = 0;
+    std::function<void(double)> done;
+  };
+  /// CollCtl arrival, after the NIC processing delay.
+  void nic_coll_rx(std::uint64_t id, double value, std::uint32_t ctl);
+  /// Forward the partial up (or release at the root) once everything local
+  /// arrived and the local contribution was posted.
+  void nic_coll_maybe_up(std::uint64_t id, NicColl& st);
+  /// Root result reached this rank: forward down the tree and fire done().
+  void nic_coll_release(std::uint64_t id, double result);
+  void nic_coll_send(int dst, std::uint64_t id, double value, std::uint32_t ctl);
+  /// Submit queued CollCtl packets: each picks the live rail with the
+  /// earliest predicted egress completion. Runs unconditionally from egress
+  /// events — the NIC unit does not wait for host progress.
+  void drain_nic_txq();
 
   sim::Engine& eng_;
   net::Fabric& fabric_;
+  net::ProcRouter& router_;
   int my_proc_;
   int my_node_;
   ExtendedConfig cfg_;
@@ -244,6 +304,9 @@ class Core {
   std::deque<RxItem> pending_rx_;
   bool pending_flush_ = false;
   int progress_depth_ = 0;
+
+  std::map<std::uint64_t, NicColl> nic_colls_;
+  std::deque<Entry> nic_txq_;  ///< CollCtl packets awaiting a free rail
 
   std::function<void(Request&)> on_complete_;
   std::function<void(const ProbeInfo&)> on_unexpected_;

@@ -70,6 +70,11 @@ struct Request {
   /// they carry a *newer* epoch — then the receiver restarted and the data
   /// phase is replayed from scratch.
   bool cts_seen = false;
+  /// Sender side: the receiver's completion ack (RdvFin) for the current
+  /// epoch has arrived. Retirement is gated on it — egress alone is not
+  /// proof of delivery, and retiring early would orphan a restart re-grant
+  /// that was already in flight (nmad.rdv.orphan_cts).
+  bool fin_seen = false;
 
   // control-plane recovery state (sender side unless noted)
   std::uint32_t epoch = 0;        ///< current grant epoch (both sides)

@@ -43,8 +43,8 @@ static_assert(RailAd::kWireSize == 20, "RailAd wire size is pinned at 20 bytes "
 
 /// One protocol unit queued toward a destination.
 struct Entry {
-  enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk, RailDown };
-  static constexpr int kNumKinds = 5;
+  enum class Kind : std::uint8_t { Eager, Rts, Cts, RdvChunk, RailDown, RdvFin, CollCtl };
+  static constexpr int kNumKinds = 7;
 
   /// Fixed header cost per kind, excluding variable-length payload fields.
   /// Eager/RdvChunk: kind + dst + tag + seq/offset bookkeeping packed in 16
@@ -54,11 +54,23 @@ struct Entry {
   /// Cts: base grant (rdv id + ack) + 4-byte grant epoch — the per-rail load
   /// vector is charged on top via header_bytes(), see RailAd::kWireSize.
   /// RailDown: kind + dst bookkeeping + the dead fabric rail (16).
+  /// RdvFin: receiver->sender completion ack — rdv id (8) + landed-byte ack
+  /// (8) + the grant epoch it confirms (4). Retirement of the sender-side
+  /// rendezvous state is gated on it (closes the restart orphan window).
+  /// CollCtl: NIC-offloaded collective control (Yu et al. model) — eager
+  /// bookkeeping + collective id (8) + combine value (8) + op/phase word (4).
   static constexpr std::size_t kEagerHeader = 16;
   static constexpr std::size_t kRtsHeader = 36;
   static constexpr std::size_t kCtsHeaderBase = 20;
   static constexpr std::size_t kRdvChunkHeader = 20;
   static constexpr std::size_t kRailDownHeader = 16;
+  static constexpr std::size_t kRdvFinHeader = 20;
+  static constexpr std::size_t kCollCtlHeader = 36;
+
+  /// CollCtl op/phase word: bits 0..7 = reduce op (coll layer encoding),
+  /// bit 8 = broadcast-down phase (unset = combine-up).
+  static constexpr std::uint32_t kCollOpMask = 0xff;
+  static constexpr std::uint32_t kCollDown = 0x100;
 
   Kind kind = Kind::Eager;
   int dst_proc = -1;
@@ -80,6 +92,11 @@ struct Entry {
   /// RailDown: the fabric rail that died (receiver-to-sender notification so
   /// the sender re-plans in-flight rendezvous onto surviving rails).
   int down_rail = -1;
+  /// CollCtl: the combine value riding the NIC collective tree edge (bit
+  /// pattern preserved end to end — never arithmetic on the wire).
+  double coll_value = 0;
+  /// CollCtl: reduce op (kCollOpMask bits) + phase (kCollDown bit).
+  std::uint32_t coll_ctl = 0;
   std::vector<std::byte> bytes; ///< Eager payload or RdvChunk data
   /// Cts: the receiver's per-rail load advertisement (empty when the
   /// receiver does not advertise). Also rides the internal unplanned-RdvChunk
@@ -105,6 +122,8 @@ struct Entry {
       case Kind::Cts: return kCtsHeaderBase + rail_ads.size() * RailAd::kWireSize;
       case Kind::RdvChunk: return kRdvChunkHeader;
       case Kind::RailDown: return kRailDownHeader;
+      case Kind::RdvFin: return kRdvFinHeader;
+      case Kind::CollCtl: return kCollCtlHeader;
     }
     return kEagerHeader;
   }
@@ -116,6 +135,8 @@ struct Entry {
       case Kind::Cts: return "Cts";
       case Kind::RdvChunk: return "RdvChunk";
       case Kind::RailDown: return "RailDown";
+      case Kind::RdvFin: return "RdvFin";
+      case Kind::CollCtl: return "CollCtl";
     }
     return "?";
   }
@@ -140,6 +161,13 @@ static_assert(Entry::kRdvChunkHeader == Entry::kEagerHeader + sizeof(std::uint32
               "rdv chunk header = eager bookkeeping + the grant epoch it answers (4)");
 static_assert(Entry::kRailDownHeader == Entry::kEagerHeader,
               "rail-down notification: kind + dst bookkeeping + dead rail fit the 16-byte base");
+static_assert(Entry::kRdvFinHeader ==
+                  sizeof(std::uint64_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t),
+              "rdv completion ack = rdv id (8) + landed-byte ack (8) + grant epoch (4)");
+static_assert(Entry::kCollCtlHeader == Entry::kEagerHeader + sizeof(std::uint64_t) +
+                                           sizeof(double) + sizeof(std::uint32_t),
+              "CollCtl header = eager bookkeeping + collective id (8) + combine value (8) + "
+              "op/phase word (4)");
 
 /// One NIC submission: entries aggregated for a single destination.
 struct WireMsg {

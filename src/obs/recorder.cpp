@@ -26,6 +26,7 @@ const char* to_string(Cat cat) {
     case Cat::Iter: return "ITER";
     case Cat::MsgMatch: return "MSG_MATCH";
     case Cat::WireLand: return "WIRE_LAND";
+    case Cat::Coll: return "COLL";
   }
   return "?";
 }

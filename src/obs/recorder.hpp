@@ -52,10 +52,12 @@ enum class Cat : std::uint8_t {
                 ///< span, arg = sender's MsgSend span (0 when unknown)
   WireLand,     ///< last byte of a wire entry landed: link record, span =
                 ///< sender's MsgSend span, arg = fabric rail index
+  Coll,         ///< one collective phase on one rank (span; arg packs the
+                ///< coll layer's op in bits 8+ and algorithm in bits 0..7)
 };
 
 /// Number of enumerators in Cat — bound for per-category tables/bitmasks.
-inline constexpr std::size_t kNumCats = static_cast<std::size_t>(Cat::WireLand) + 1;
+inline constexpr std::size_t kNumCats = static_cast<std::size_t>(Cat::Coll) + 1;
 static_assert(kNumCats <= 32, "Cat enable mask is a uint32_t bitmask");
 
 const char* to_string(Cat cat);

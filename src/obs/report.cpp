@@ -1,7 +1,10 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 
 namespace nmx::obs {
@@ -83,6 +86,52 @@ void write_tolerance(const ToleranceReport& tr, std::ostream& os) {
   os << "]}";
 }
 
+/// Tile the extracted critical path by collective phase: for every path
+/// segment, the time overlapping a Cat::Coll span on the segment's rank is
+/// attributed to that span's op (the Coll arg packs op in bits 8+).
+std::vector<CollPhase> tile_coll_phases(const SpanIndex& idx, const CritPathResult& cp) {
+  constexpr std::array<const char*, 4> kOp = {"barrier", "bcast", "allreduce", "alltoall"};
+  struct Iv {
+    Time t0, t1;
+    int op;
+  };
+  std::map<int, std::vector<Iv>> by_rank;
+  std::array<std::uint64_t, 4> span_count{};
+  // nmx-lint: allow(determinism) intervals are sorted and counts summed; visitation order cannot leak
+  for (const auto& [id, s] : idx.spans) {
+    if (s.cat != Cat::Coll || !s.closed) continue;
+    const int op = static_cast<int>(s.arg_begin >> 8);
+    if (op < 0 || op >= static_cast<int>(kOp.size())) continue;
+    by_rank[s.rank].push_back(Iv{s.t0, s.t1, op});
+    ++span_count[static_cast<std::size_t>(op)];
+  }
+  if (by_rank.empty()) return {};
+  for (auto& [rank, ivs] : by_rank) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Iv& a, const Iv& b) { return a.t0 < b.t0; });
+  }
+
+  std::array<double, 4> crit{};
+  for (const IterPath& it : cp.iterations) {
+    for (const PathSegment& seg : it.segments) {
+      const auto r = by_rank.find(seg.rank);
+      if (r == by_rank.end()) continue;
+      for (const Iv& iv : r->second) {
+        if (iv.t0 >= seg.t1) break;
+        const double ov = std::min(seg.t1, iv.t1) - std::max(seg.t0, iv.t0);
+        if (ov > 0) crit[static_cast<std::size_t>(iv.op)] += ov;
+      }
+    }
+  }
+
+  std::vector<CollPhase> out;
+  for (std::size_t op = 0; op < kOp.size(); ++op) {
+    if (span_count[op] == 0) continue;
+    out.push_back(CollPhase{static_cast<int>(op), kOp[op], crit[op], span_count[op]});
+  }
+  return out;
+}
+
 }  // namespace
 
 RunReport analyze_run(const Recorder& rec, std::string name, int ranks,
@@ -93,6 +142,7 @@ RunReport analyze_run(const Recorder& rec, std::string name, int ranks,
   const SpanIndex idx = build_span_index(rec);
   run.critpath = extract_critical_path(idx);
   run.tolerance = analyze_latency_tolerance(idx, run.critpath, rails);
+  run.coll = tile_coll_phases(idx, run.critpath);
   return run;
 }
 
@@ -108,7 +158,15 @@ void write_report(const Report& rep, std::ostream& os) {
     write_critpath(run.critpath, os);
     os << ",\"latency_tolerance\":";
     write_tolerance(run.tolerance, os);
-    os << "}";
+    os << ",\"coll\":{\"covered\":" << num(run.coll_covered()) << ",\"phases\":[";
+    bool pfirst = true;
+    for (const CollPhase& p : run.coll) {
+      if (!pfirst) os << ",";
+      pfirst = false;
+      os << "{\"op\":" << jstr(p.name) << ",\"crit_time\":" << num(p.crit_time)
+         << ",\"spans\":" << p.spans << "}";
+    }
+    os << "]}}";
   }
   os << "\n]}\n";
 }
@@ -143,6 +201,17 @@ void print_report_summary(const Report& rep, std::ostream& os) {
                   100 * cp.wire / w, 100 * cp.sw / w, 100 * cp.blocked / w,
                   100 * run.tolerance.model_error, tol.c_str());
     os << buf;
+    if (!run.coll.empty()) {
+      std::string phases;
+      for (const CollPhase& p : run.coll) {
+        std::snprintf(buf, sizeof(buf), " %s=%.1f%%", p.name.c_str(),
+                      100 * p.crit_time / w);
+        phases += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "%-28s   coll tiling: %.1f%% of path:%s\n", "",
+                    100 * run.coll_covered(), phases.c_str());
+      os << buf;
+    }
   }
 }
 

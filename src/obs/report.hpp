@@ -15,12 +15,30 @@
 
 namespace nmx::obs {
 
+/// Critical-path time spent inside one collective op's Cat::Coll spans:
+/// the tiling of the extracted path by collective phase.
+struct CollPhase {
+  int op = 0;            ///< 0 barrier, 1 bcast, 2 allreduce, 3 alltoall
+  std::string name;      ///< op name ("alltoall", ...)
+  double crit_time = 0;  ///< critical-path seconds covered by this op
+  std::uint64_t spans = 0;  ///< closed Coll spans of this op in the trace
+};
+
 /// Analysis of one traced run (one cluster execution).
 struct RunReport {
   std::string name;  ///< e.g. "CG/32procs/MPICH2-NMad"
   int ranks = 0;
   CritPathResult critpath;
   ToleranceReport tolerance;
+  /// Collective-phase tiling of the critical path (empty when the trace has
+  /// no Cat::Coll spans — e.g. pre-engine traces).
+  std::vector<CollPhase> coll;
+  /// Fraction of the critical path inside *some* collective phase.
+  double coll_covered() const {
+    double t = 0;
+    for (const CollPhase& p : coll) t += p.crit_time;
+    return critpath.wall > 0 ? t / critpath.wall : 0;
+  }
 };
 
 struct Report {

@@ -328,8 +328,9 @@ TEST_F(CoreFixture, MultirailSplitsRendezvousAcrossBothRails) {
   const std::size_t before = fabric.packets_sent();
   eng.run();
   EXPECT_EQ(dst, msg);
-  // RTS + CTS + two data chunks (one per rail) = 4 packets.
-  EXPECT_EQ(fabric.packets_sent() - before, 4u);
+  // RTS + CTS + two data chunks (one per rail) + the receiver's RdvFin
+  // completion ack = 5 packets.
+  EXPECT_EQ(fabric.packets_sent() - before, 5u);
 }
 
 TEST_F(CoreFixture, CostModelRendezvousDeliversInQuantumChunks) {
